@@ -1,0 +1,107 @@
+// Command eigbench regenerates the paper's tables and figures on this
+// machine using the shared harness in internal/bench. Each experiment is
+// selected by -exp; -sizes, -n, -nb and -workers scale it up or down.
+//
+//	eigbench -exp all                       # everything at default sizes
+//	eigbench -exp fig4c -sizes 256,512,1024 # the TRD speedup sweep
+//	eigbench -exp fig5 -n 768               # the tile-size sweep
+//	eigbench -exp model                     # Eqs. 4-6/9-10 with measured α, β
+//
+// See EXPERIMENTS.md for recorded outputs and the paper-vs-measured notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|all")
+		sizes   = flag.String("sizes", "", "comma-separated matrix sizes for sweeps (default 128,256,384,512)")
+		n       = flag.Int("n", 512, "matrix size for single-size experiments")
+		nb      = flag.Int("nb", 32, "tile size where applicable")
+		workers = flag.Int("workers", 0, "scheduler workers (0 = sequential)")
+	)
+	flag.Parse()
+
+	sz := bench.DefaultSizes
+	if *sizes != "" {
+		sz = nil
+		for _, tok := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "eigbench: bad size %q\n", tok)
+				os.Exit(2)
+			}
+			sz = append(sz, v)
+		}
+	}
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+	show := func(t *bench.Table) {
+		fmt.Println(t.String())
+		any = true
+	}
+
+	if run("table1") {
+		show(bench.Table1(*n))
+	}
+	if run("table2") {
+		show(bench.Table2())
+	}
+	if run("table3") {
+		show(bench.Table3())
+	}
+	if run("fig1a") {
+		show(bench.Figure1('a', sz, *workers))
+		show(bench.Figure1ValuesOnly(sz))
+	}
+	if run("fig1b") {
+		show(bench.Figure1('b', sz, *workers))
+	}
+	if run("fig2") {
+		show(bench.Figure2(min(*n, 128), *nb))
+	}
+	if run("fig3") {
+		show(bench.Figure3(*n, *nb, *nb, 4))
+	}
+	for _, v := range []byte{'a', 'b', 'c', 'd'} {
+		if run("fig4" + string(v)) {
+			show(bench.Figure4(v, sz, *workers))
+		}
+	}
+	if run("fig5") {
+		show(bench.Figure5(*n, []int{8, 16, 24, 32, 48, 64, 96, 128}, *workers))
+	}
+	if run("model") {
+		show(bench.ModelTable([]int{256, 512, 1024, 2048, 4096, 8192, 24000}))
+	}
+	if run("svdcmp") {
+		show(bench.SVDComparison([]int{512, 1024, 4096, 24000}))
+	}
+	if run("fraction") {
+		show(bench.Fraction(*n, *workers))
+	}
+	if run("verify") {
+		show(bench.VerifyTable(min(*n, 256), *workers))
+		show(bench.Stage2ParallelCheck(min(*n, 256), *nb, []int{1, 2, 4}))
+	}
+	if run("ablate-group") {
+		show(bench.AblationGroup(*n, *nb, []int{1, 2, 4, 8, *nb, 2 * *nb}))
+	}
+	if run("ablate-sched") {
+		show(bench.AblationStage2Cores(*n, *nb, []int{1, 2, 4}))
+		show(bench.AblationStage1Sched(*n, *nb, []int{1, 2, 4}))
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "eigbench: unknown experiment %q (see -h)\n", *exp)
+		os.Exit(2)
+	}
+}

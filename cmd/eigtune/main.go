@@ -1,0 +1,62 @@
+// Command eigtune picks the tile size n_b for this machine, the way §7.1 of
+// the paper tunes its implementation: it measures the machine parameters
+// (α, β), evaluates the bulge-chasing model (Eqs. 9–10) for its analytic
+// optimum, then runs an empirical sweep of the full reduction and reports
+// both, flagging where they disagree.
+//
+//	eigtune -n 768 -nbs 16,32,48,64,96
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		n   = flag.Int("n", 512, "matrix size for the empirical sweep")
+		nbs = flag.String("nbs", "8,16,24,32,48,64,96", "comma-separated tile sizes to sweep")
+	)
+	flag.Parse()
+
+	var list []int
+	for _, tok := range strings.Split(*nbs, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "eigtune: bad nb %q\n", tok)
+			os.Exit(2)
+		}
+		list = append(list, v)
+	}
+
+	fmt.Println("Measuring machine parameters...")
+	p := model.MeasureParams(runtime.NumCPU())
+	fmt.Printf("  alpha (gemm) = %.2f Gflop/s\n", p.Alpha/1e9)
+	fmt.Printf("  beta  (symv) = %.2f Gflop/s\n", p.Beta/1e9)
+	fmt.Printf("  model-optimal nb (Eqs. 9-10): %.0f\n\n", model.OptimalNB(p))
+
+	t := bench.Figure5(*n, list, 0)
+	fmt.Println(t.String())
+
+	// Pick the empirical winner by total reduction time (last column).
+	bestIdx, bestSec := -1, 0.0
+	for i, row := range t.Rows {
+		var cur float64
+		if _, err := fmt.Sscanf(row[5], "%fs", &cur); err != nil {
+			continue
+		}
+		if bestIdx < 0 || cur < bestSec {
+			bestIdx, bestSec = i, cur
+		}
+	}
+	if bestIdx >= 0 {
+		fmt.Printf("empirical best nb at n=%d: %s (total reduction %s)\n", *n, t.Rows[bestIdx][0], t.Rows[bestIdx][5])
+	}
+}

@@ -1,0 +1,275 @@
+// Package eigen is a pure-Go solver for the dense symmetric eigenvalue
+// problem built around the two-stage tridiagonalization algorithm of
+// Haidar, Luszczek and Dongarra ("New Algorithm for Computing Eigenvectors
+// of the Symmetric Eigenvalue Problem", IPPS 2014): reduction to band form
+// with DAG-scheduled tile kernels, cache-aware bulge chasing to tridiagonal
+// form, a choice of tridiagonal eigensolvers, and the blocked two-factor
+// back-transformation Z = Q₁·Q₂·E that makes eigenvectors affordable in the
+// two-stage setting.
+//
+// # Quick start
+//
+//	a := eigen.NewMatrix(n)
+//	// fill the matrix: a.SetSym(i, j, v) sets both (i,j) and (j,i)
+//	res, err := eigen.Eig(a, nil)
+//	// res.Values — ascending eigenvalues; res.Vectors.Col(k) — eigenvector k
+//
+// The classic one-stage algorithm (LAPACK DSYEVD-style) is available as a
+// baseline via Options.Algorithm; the benchmark harness in this repository
+// uses it to regenerate the paper's comparison figures.
+package eigen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/trace"
+)
+
+// Method selects the tridiagonal eigensolver used in phase 2, mirroring the
+// three LAPACK drivers compared in the paper.
+type Method int
+
+const (
+	// DivideAndConquer is Cuppen's method with deflation (DSYEVD); the
+	// default and usually the fastest for the full spectrum.
+	DivideAndConquer Method = iota
+	// BisectionInverseIteration computes eigenvalues by bisection and
+	// vectors by inverse iteration; it is O(n²) in the tridiagonal phase
+	// and the only method that computes strictly a subset (the stand-in
+	// for MRRR/DSYEVR — see DESIGN.md).
+	BisectionInverseIteration
+	// QRIteration is implicit QL/QR with accumulated rotations (DSYEV).
+	QRIteration
+)
+
+// Algorithm selects the reduction pipeline.
+type Algorithm int
+
+const (
+	// TwoStage is the paper's algorithm: tile reduction to band, bulge
+	// chasing, two-factor back-transformation.
+	TwoStage Algorithm = iota
+	// OneStage is the classic direct tridiagonalization (memory-bound);
+	// provided as the comparison baseline.
+	OneStage
+)
+
+// Options tune the solver. The zero value (or a nil *Options) requests the
+// two-stage algorithm, divide & conquer, default block sizes, sequential
+// execution.
+type Options struct {
+	// Algorithm selects the reduction pipeline (default TwoStage).
+	Algorithm Algorithm
+	// Method selects the tridiagonal eigensolver (default DivideAndConquer).
+	Method Method
+	// NB is the tile size/bandwidth (two-stage) or panel width (one-stage);
+	// 0 picks a default. See the tuning discussion in EXPERIMENTS.md.
+	NB int
+	// Workers sets the task-scheduler width; 0 or 1 runs sequentially.
+	Workers int
+	// Stage2Workers restricts the memory-bound bulge-chasing stage to fewer
+	// cores for locality (the paper's hybrid scheduling); 0 = no limit.
+	Stage2Workers int
+	// Stage2Static runs the bulge chasing under the static progress-table
+	// runtime instead of the dynamic scheduler; results are identical, the
+	// choice only affects scheduling overhead.
+	Stage2Static bool
+	// Group is the number of bulge-chasing sweeps aggregated into one
+	// diamond block when applying Q₂; 0 picks the bandwidth.
+	Group int
+	// Collector, when non-nil, receives per-phase timings and per-kernel
+	// flop counts.
+	Collector *trace.Collector
+}
+
+func (o *Options) toCore(vectors bool, il, iu int) core.Options {
+	var c core.Options
+	if o != nil {
+		c.NB = o.NB
+		c.Workers = o.Workers
+		c.Stage2Workers = o.Stage2Workers
+		c.Stage2Static = o.Stage2Static
+		c.Group = o.Group
+		c.Collector = o.Collector
+		switch o.Method {
+		case BisectionInverseIteration:
+			c.Method = core.MethodBI
+		case QRIteration:
+			c.Method = core.MethodQR
+		default:
+			c.Method = core.MethodDC
+		}
+	}
+	c.Vectors = vectors
+	c.IL, c.IU = il, iu
+	return c
+}
+
+func (o *Options) algorithm() Algorithm {
+	if o == nil {
+		return TwoStage
+	}
+	return o.Algorithm
+}
+
+// Result holds the output of an eigensolve.
+type Result struct {
+	// Values are the computed eigenvalues in ascending order.
+	Values []float64
+	// Vectors holds the matching eigenvectors in its columns (nil when only
+	// values were requested). Column k pairs with Values[k].
+	Vectors *Matrix
+}
+
+// Eig computes all eigenvalues and eigenvectors of the symmetric matrix a.
+func Eig(a *Matrix, opts *Options) (*Result, error) {
+	return solve(a, opts, true, 0, 0)
+}
+
+// EigValues computes all eigenvalues of a (no vectors).
+func EigValues(a *Matrix, opts *Options) ([]float64, error) {
+	res, err := solve(a, opts, false, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// EigRange computes eigenpairs il through iu (1-based, ascending,
+// inclusive) — the paper's partial-spectrum scenario (fraction f = k/n).
+// With Method BisectionInverseIteration only the requested pairs are
+// computed; the other methods compute the full decomposition and return the
+// slice.
+func EigRange(a *Matrix, il, iu int, opts *Options) (*Result, error) {
+	if il < 1 || iu < il {
+		return nil, fmt.Errorf("eigen: invalid range [%d, %d]", il, iu)
+	}
+	return solve(a, opts, true, il, iu)
+}
+
+// EigValuesRange computes eigenvalues il through iu only.
+func EigValuesRange(a *Matrix, il, iu int, opts *Options) ([]float64, error) {
+	if il < 1 || iu < il {
+		return nil, fmt.Errorf("eigen: invalid range [%d, %d]", il, iu)
+	}
+	res, err := solve(a, opts, false, il, iu)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+func solve(a *Matrix, opts *Options, vectors bool, il, iu int) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("eigen: nil matrix")
+	}
+	if a.r != a.c {
+		return nil, fmt.Errorf("eigen: matrix must be square, got %d×%d", a.r, a.c)
+	}
+	if !a.dense().IsSymmetric(symTol * a.dense().MaxAbs()) {
+		return nil, fmt.Errorf("eigen: matrix is not symmetric (tolerance %g·max|a|)", symTol)
+	}
+	co := opts.toCore(vectors, il, iu)
+	var cres *core.Result
+	var err error
+	if opts.algorithm() == OneStage {
+		cres, err = core.SyevOneStage(a.dense(), co)
+	} else {
+		cres, err = core.SyevTwoStage(a.dense(), co)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Values: cres.Values}
+	if cres.Vectors != nil {
+		res.Vectors = fromDense(cres.Vectors)
+	}
+	return res, nil
+}
+
+// symTol is the relative asymmetry allowed in the input before Eig refuses
+// it (guards against accidentally passing a non-symmetric matrix; only the
+// average of a_ij and a_ji would be solved otherwise).
+const symTol = 1e-10
+
+// Matrix is a column-major, dense matrix. For eigensolves it must be square
+// and symmetric; eigenvector results are returned as n×k matrices.
+type Matrix struct {
+	r, c int
+	data []float64
+}
+
+// NewMatrix allocates a zero n×n matrix.
+func NewMatrix(n int) *Matrix {
+	if n < 0 {
+		panic("eigen: negative size")
+	}
+	return &Matrix{r: n, c: n, data: make([]float64, n*n)}
+}
+
+// NewMatrixFrom builds an n×n matrix from row-major data (convenient for
+// literals in examples and tests).
+func NewMatrixFrom(n int, rowMajor []float64) *Matrix {
+	if len(rowMajor) != n*n {
+		panic("eigen: data length mismatch")
+	}
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rowMajor[i*n+j])
+		}
+	}
+	return m
+}
+
+func fromDense(d *matrix.Dense) *Matrix {
+	m := &Matrix{r: d.Rows, c: d.Cols, data: make([]float64, d.Rows*d.Cols)}
+	for j := 0; j < d.Cols; j++ {
+		copy(m.data[j*m.r:j*m.r+m.r], d.Data[j*d.Stride:j*d.Stride+d.Rows])
+	}
+	return m
+}
+
+func (m *Matrix) dense() *matrix.Dense {
+	return matrix.NewDenseFrom(m.r, m.c, max(1, m.r), m.data)
+}
+
+// Dims returns the matrix dimensions.
+func (m *Matrix) Dims() (rows, cols int) { return m.r, m.c }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i+j*m.r]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i+j*m.r] = v
+}
+
+// SetSym assigns both (i, j) and (j, i), keeping the matrix symmetric.
+func (m *Matrix) SetSym(i, j int, v float64) {
+	m.Set(i, j, v)
+	if i != j {
+		m.Set(j, i, v)
+	}
+}
+
+// Col returns a copy of column j (for eigenvector results, the j-th
+// eigenvector).
+func (m *Matrix) Col(j int) []float64 {
+	m.check(0, j)
+	out := make([]float64, m.r)
+	copy(out, m.data[j*m.r:j*m.r+m.r])
+	return out
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.r || j < 0 || j >= m.c {
+		panic(fmt.Sprintf("eigen: index (%d,%d) out of %d×%d", i, j, m.r, m.c))
+	}
+}

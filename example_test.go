@@ -1,0 +1,66 @@
+package eigen_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleEig computes the spectrum of a small symmetric matrix.
+func ExampleEig() {
+	// The 3×3 path-graph Laplacian-like matrix tridiag(1, 2, 1).
+	a := eigen.NewMatrixFrom(3, []float64{
+		2, 1, 0,
+		1, 2, 1,
+		0, 1, 2,
+	})
+	res, err := eigen.Eig(a, nil)
+	if err != nil {
+		panic(err)
+	}
+	for i, v := range res.Values {
+		fmt.Printf("λ%d = %.6f\n", i+1, v)
+	}
+	// Output:
+	// λ1 = 0.585786
+	// λ2 = 2.000000
+	// λ3 = 3.414214
+}
+
+// ExampleEigRange computes only the two smallest eigenpairs with the
+// subset-capable bisection + inverse-iteration solver.
+func ExampleEigRange() {
+	n := 8
+	a := eigen.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 2)
+		if i+1 < n {
+			a.SetSym(i, i+1, 1)
+		}
+	}
+	res, err := eigen.EigRange(a, 1, 2, &eigen.Options{
+		Method: eigen.BisectionInverseIteration,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("smallest: %.6f, next: %.6f, vectors: %d columns\n",
+		res.Values[0], res.Values[1], len(res.Values))
+	// Output:
+	// smallest: 0.120615, next: 0.467911, vectors: 2 columns
+}
+
+// ExampleEig_oneStage runs the classic one-stage baseline for comparison.
+func ExampleEig_oneStage() {
+	a := eigen.NewMatrixFrom(2, []float64{
+		0, 1,
+		1, 0,
+	})
+	res, err := eigen.Eig(a, &eigen.Options{Algorithm: eigen.OneStage})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f %.0f\n", res.Values[0], res.Values[1])
+	// Output:
+	// -1 1
+}

@@ -1,0 +1,235 @@
+// Package backtransform implements the eigenvector back-transformation of
+// the two-stage algorithm — the paper's core new contribution (§6). Given
+// the eigenvectors E of the tridiagonal matrix it computes
+//
+//	Z = Q₁ · (Q₂ · E)
+//
+// where Q₂ is the awkward one: its reflectors are length-b slivers arranged
+// on a shifted lattice (Figure 3b). Applying them one by one is Level-2
+// BLAS and memory-bound, so consecutive sweeps at the same chase level are
+// aggregated into diamond-shaped blocks and applied with the compact WY
+// representation (Level 3), in an order that linearizes the bulge-chasing
+// dependence DAG (Figure 3d). Parallelism comes from partitioning E into
+// column blocks that never interact (Figure 3c), so each core applies every
+// diamond to its own block with no communication.
+package backtransform
+
+import (
+	"repro/internal/blas"
+	"repro/internal/bulge"
+	"repro/internal/householder"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// defaultGroup picks the diamond width for a chase bandwidth b. Wider
+// diamonds improve blocking but the aggregated V spans b+g−1 rows, so the
+// applied flops grow by (b+g−1)/b — the paper's "small extra cost". The
+// ablation bench (BenchmarkAblationGroupWidth) locates the sweet spot well
+// below b on this substrate.
+func defaultGroup(b int) int {
+	g := b / 4
+	if g < 4 {
+		g = 4
+	}
+	if g > 16 {
+		g = 16
+	}
+	return g
+}
+
+// diamond is one aggregated block of reflectors: group j covers sweeps
+// [j·g, (j+1)·g) at a fixed chase level.
+type diamond struct {
+	rowStart int // global row of the first reflector's implicit 1
+	rows     int // row span of the aggregated V
+	k        int // number of reflectors (columns of V)
+	v        []float64
+	t        []float64
+}
+
+// Plan precomputes the diamond blocks of Q₂ for a chase result, so repeated
+// applications (e.g. to different eigenvector sets) skip the aggregation.
+type Plan struct {
+	n      int
+	group  int
+	// blocks in application order for Q₂·E (valid DAG linearization:
+	// sweep-group descending, level ascending within a group).
+	blocks []diamond
+	// naive fallback data.
+	refs []bulge.Reflector
+}
+
+// NewPlan builds the diamond decomposition of Q₂ with the given group size
+// (≤ 0 picks a bandwidth-dependent default).
+func NewPlan(res *bulge.Result, group int) *Plan {
+	if group <= 0 {
+		group = defaultGroup(res.B)
+	}
+	if group < 1 {
+		group = 1
+	}
+	p := &Plan{n: res.N, group: group, refs: res.Refs}
+	if len(res.Refs) == 0 {
+		return p
+	}
+	// Index reflectors by (sweep, level).
+	maxSweep, maxLevel := 0, 0
+	type key struct{ s, l int }
+	byKey := make(map[key]*bulge.Reflector, len(res.Refs))
+	for i := range res.Refs {
+		r := &res.Refs[i]
+		byKey[key{r.Sweep, r.Level}] = r
+		if r.Sweep > maxSweep {
+			maxSweep = r.Sweep
+		}
+		if r.Level > maxLevel {
+			maxLevel = r.Level
+		}
+	}
+	ng := maxSweep/group + 1
+	// Application order for Q₂·E: group index j descending, level ascending.
+	for j := ng - 1; j >= 0; j-- {
+		for l := 0; l <= maxLevel; l++ {
+			var members []*bulge.Reflector
+			lo, hi := j*group, min((j+1)*group, maxSweep+1)
+			for s2 := lo; s2 < hi; s2++ {
+				if r, ok := byKey[key{s2, l}]; ok {
+					members = append(members, r)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			p.blocks = append(p.blocks, buildDiamond(lo, members))
+		}
+	}
+	return p
+}
+
+// buildDiamond packs the member reflectors (sweeps lo..) of one level into
+// a shifted compact-WY block. Column c corresponds to sweep lo+c; its
+// implicit 1 sits at local row (sweep − lo) because consecutive sweeps
+// shift down by exactly one row (Figure 3b).
+func buildDiamond(lo int, members []*bulge.Reflector) diamond {
+	rowStart := members[0].Row - (members[0].Sweep - lo)
+	k := 0
+	rowEnd := rowStart
+	for _, r := range members {
+		c := r.Sweep - lo
+		if c+1 > k {
+			k = c + 1
+		}
+		if end := r.Row + len(r.V); end+1 > rowEnd {
+			rowEnd = end + 1
+		}
+	}
+	rows := rowEnd - rowStart
+	d := diamond{rowStart: rowStart, rows: rows, k: k}
+	d.v = make([]float64, rows*k)
+	tau := make([]float64, k)
+	for _, r := range members {
+		c := r.Sweep - lo
+		local := r.Row - rowStart
+		if local != c {
+			// The lattice guarantees a one-row shift per sweep; anything
+			// else is a logic error upstream.
+			panic("backtransform: reflector off the diamond lattice")
+		}
+		tau[c] = r.Tau
+		copy(d.v[local+1+c*rows:], r.V)
+	}
+	d.t = make([]float64, k*k)
+	householder.Larft(rows, k, d.v, rows, tau, d.t, k)
+	return d
+}
+
+// NumBlocks reports how many diamond blocks the plan holds.
+func (p *Plan) NumBlocks() int { return len(p.blocks) }
+
+// OverlapEdges counts ordered pairs of consecutive-in-plan diamonds whose
+// row ranges overlap — the dependence edges of the paper's Figure 3d DAG
+// that the plan's linearization satisfies.
+func (p *Plan) OverlapEdges() int {
+	edges := 0
+	for i := 0; i < len(p.blocks); i++ {
+		for j := i + 1; j < len(p.blocks); j++ {
+			a, b := &p.blocks[i], &p.blocks[j]
+			if a.rowStart < b.rowStart+b.rows && b.rowStart < a.rowStart+a.rows {
+				edges++
+			}
+		}
+	}
+	return edges
+}
+
+// Apply computes E := Q₂·E using the diamond blocks. E is partitioned into
+// column blocks of width colBlock (≤ 0 → 64) and each block is one task:
+// with a scheduler the blocks run concurrently on distinct workers with no
+// shared data. tc may be nil.
+func (p *Plan) Apply(e *matrix.Dense, s *sched.Scheduler, colBlock int, tc *trace.Collector) {
+	if e.Rows != p.n {
+		panic("backtransform: E row count mismatch")
+	}
+	if colBlock <= 0 {
+		colBlock = 64
+	}
+	resBase := 1 << 30 // distinct from any tile resource IDs
+	for j0, idx := 0, 0; j0 < e.Cols; j0, idx = j0+colBlock, idx+1 {
+		jb := min(colBlock, e.Cols-j0)
+		view := e.View(0, j0, p.n, jb)
+		task := sched.Task{
+			Name: "APPLYQ2",
+			Deps: []sched.Dep{sched.RW(resBase + idx)},
+			Run: func(int) {
+				p.applyBlock(view, tc)
+			},
+		}
+		if s == nil {
+			task.Run(0)
+		} else {
+			s.Submit(task)
+		}
+	}
+	if s != nil {
+		s.Wait()
+	}
+}
+
+func (p *Plan) applyBlock(e *matrix.Dense, tc *trace.Collector) {
+	var work []float64
+	for i := range p.blocks {
+		d := &p.blocks[i]
+		if need := d.k * e.Cols; cap(work) < need {
+			work = make([]float64, need)
+		}
+		sub := e.View(d.rowStart, 0, d.rows, e.Cols)
+		householder.Larfb(blas.Left, blas.NoTrans, d.rows, e.Cols, d.k,
+			d.v, d.rows, d.t, d.k, sub.Data, sub.Stride, work[:d.k*e.Cols])
+		tc.AddFlops(trace.KLarfb, 4*int64(d.rows)*int64(e.Cols)*int64(d.k))
+	}
+}
+
+// ApplyNaive computes E := Q₂·E one reflector at a time in reverse
+// generation order — the memory-bound Level-2 reference implementation the
+// paper's blocked scheme replaces. It is used to validate the diamond
+// decomposition and as the ablation baseline.
+func ApplyNaive(res *bulge.Result, e *matrix.Dense, tc *trace.Collector) {
+	if e.Rows != res.N {
+		panic("backtransform: E row count mismatch")
+	}
+	work := make([]float64, e.Cols)
+	for i := len(res.Refs) - 1; i >= 0; i-- {
+		r := &res.Refs[i]
+		if r.Tau == 0 {
+			continue
+		}
+		v := make([]float64, len(r.V)+1)
+		v[0] = 1
+		copy(v[1:], r.V)
+		sub := e.View(r.Row, 0, len(v), e.Cols)
+		householder.Larf(blas.Left, len(v), e.Cols, v, 1, r.Tau, sub.Data, sub.Stride, work)
+		tc.AddFlops(trace.KLarf, 4*int64(len(v))*int64(e.Cols))
+	}
+}

@@ -1,0 +1,97 @@
+package band
+
+import (
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// ApplyQ1 computes C := Q₁·C (trans == NoTrans) or C := Q₁ᵀ·C (trans ==
+// Trans) where Q₁ is the orthogonal factor of the stage-1 reduction held in
+// f. C must have f.N rows.
+//
+// Parallelization follows the paper's Figure 3c: C is split into column
+// blocks and each block is one task that applies the entire reflector
+// sequence, so blocks never share data, there is no inter-core
+// communication, and each core streams its own block through cache. Pass a
+// nil scheduler for sequential execution. colBlock ≤ 0 picks f.NB columns
+// per block.
+func (f *Factor) ApplyQ1(trans blas.Transpose, c *matrix.Dense, s *sched.Scheduler, colBlock int, tc *trace.Collector) {
+	if c.Rows != f.N {
+		panic("band: ApplyQ1 dimension mismatch")
+	}
+	if colBlock <= 0 {
+		colBlock = f.NB
+	}
+	// Column-block resources are disjoint slices of C, so any distinct
+	// resource IDs work; reuse the ID space above the factor's own.
+	base := 5 * f.NT * f.NT
+	for j0, idx := 0, 0; j0 < c.Cols; j0, idx = j0+colBlock, idx+1 {
+		jb := min(colBlock, c.Cols-j0)
+		view := c.View(0, j0, f.N, jb)
+		task := sched.Task{
+			Name: taskName("APPLYQ1", idx, 0),
+			Deps: []sched.Dep{sched.RW(base + idx)},
+			Run: func(int) {
+				f.applyQ1Block(trans, view, tc)
+			},
+		}
+		if s == nil {
+			task.Run(0)
+		} else {
+			s.Submit(task)
+		}
+	}
+	if s != nil {
+		s.Wait()
+	}
+}
+
+// applyQ1Block applies the full Q₁ (or its transpose) to one column block.
+func (f *Factor) applyQ1Block(trans blas.Transpose, c *matrix.Dense, tc *trace.Collector) {
+	nt, nb := f.NT, f.NB
+	m := c.Cols
+	work := make([]float64, nb*m)
+
+	// Q₁ = Q_0·Q_1⋯Q_{nt-2}, and within a panel Q_k = G_k·S_{k+2}⋯S_{nt-1}.
+	// For Q₁·C operators apply right-to-left (k descending, i descending,
+	// G last); for Q₁ᵀ·C everything reverses and transposes.
+	apG := func(k int) {
+		m1 := f.A.TileRows(k + 1)
+		kr := f.PanelReflectors(k)
+		panel := f.A.Tile(k+1, k)
+		row := c.View((k+1)*nb, 0, m1, m)
+		Ormqr(blas.Left, trans, m1, m, kr, panel, m1, f.Tge[k], kr, row.Data, row.Stride, work, tc)
+	}
+	apS := func(k, i int) {
+		m2 := f.A.TileRows(i)
+		vtile := f.A.Tile(i, k)
+		tts := f.Tts[k][i-(k+2)]
+		a1 := c.View((k+1)*nb, 0, nb, m)
+		a2 := c.View(i*nb, 0, m2, m)
+		Tsmqr(blas.Left, trans, nb, m, 0, m2, a1.Data, a1.Stride, a2.Data, a2.Stride, vtile, m2, tts, nb, work, tc)
+	}
+	if trans == blas.NoTrans {
+		for k := nt - 2; k >= 0; k-- {
+			for i := nt - 1; i >= k+2; i-- {
+				apS(k, i)
+			}
+			apG(k)
+		}
+	} else {
+		for k := 0; k <= nt-2; k++ {
+			apG(k)
+			for i := k + 2; i <= nt-1; i++ {
+				apS(k, i)
+			}
+		}
+	}
+}
+
+// BuildQ1 forms Q₁ explicitly (for tests and small problems).
+func (f *Factor) BuildQ1(tc *trace.Collector) *matrix.Dense {
+	q := matrix.Eye(f.N)
+	f.ApplyQ1(blas.NoTrans, q, nil, 0, tc)
+	return q
+}

@@ -1,0 +1,299 @@
+package band
+
+import (
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// DefaultNB is the default tile size / bandwidth for stage 1. The paper's
+// model (§7.1) puts the sweet spot at 120–200 on a 48-core Opteron; on this
+// substrate smaller tiles balance the two stages (see cmd/eigtune).
+const DefaultNB = 48
+
+// Factor is the output of the stage-1 reduction: the band matrix B plus the
+// Householder data needed to apply Q₁ later (paper §6, Figure 3a). The
+// reflectors stay packed in the tiles of A exactly where the factorization
+// left them:
+//
+//   - tile (k+1, k): R in the upper triangle, the GEQRT reflector essentials
+//     below the diagonal;
+//   - tile (i, k), i > k+1: the dense part of the TS reflector that
+//     annihilated that tile.
+type Factor struct {
+	N  int // matrix order
+	NB int // tile size == bandwidth
+	NT int // tile grid order
+
+	// A is the tile matrix after reduction (V storage).
+	A *matrix.TileMatrix
+	// Tge[k] is the triangular block factor of the GEQRT reflector of panel
+	// k (dimension kr×kr, kr = reflector count of the panel).
+	Tge [][]float64
+	// Tts[k][i-(k+2)] is the factor for the TS reflector of tile (i, k).
+	Tts [][][]float64
+	// Band is the resulting symmetric band matrix (bandwidth NB).
+	Band *matrix.SymBand
+}
+
+// PanelReflectors returns the reflector count of panel k.
+func (f *Factor) PanelReflectors(k int) int {
+	return min(f.A.TileRows(k+1), f.A.TileCols(k))
+}
+
+// resource IDs for the scheduler: tiles use TileMatrix.TileID (in
+// [0, NT²)); the extra virtual resources below avoid false dependences
+// between readers of the V part and writers of the R part of a panel tile.
+func (f *Factor) resV(k int) int   { return f.NT*f.NT + k }          // V of tile (k+1,k)
+func (f *Factor) resR(k int) int   { return 2*f.NT*f.NT + k }        // R of tile (k+1,k)
+func (f *Factor) resTge(k int) int { return 3*f.NT*f.NT + k }        // Tge[k]
+func (f *Factor) resTts(k, i int) int {
+	return 4*f.NT*f.NT + k*f.NT + i
+}
+
+// Reduce runs the DAG-scheduled stage-1 reduction of the dense symmetric
+// matrix a (both triangles must be filled) to band form with bandwidth nb.
+// If s is nil the tasks run sequentially in submission order, which is the
+// reference execution the scheduled one must match bit-for-bit (each tile
+// sees the same operation sequence either way). tc may be nil.
+func Reduce(a *matrix.Dense, nb int, s *sched.Scheduler, tc *trace.Collector) *Factor {
+	n := a.Rows
+	if a.Cols != n {
+		panic("band: Reduce requires a square matrix")
+	}
+	if nb <= 0 {
+		nb = DefaultNB
+	}
+	tm := matrix.NewTileMatrix(n, nb)
+	tm.FromLapack(a)
+	f := &Factor{N: n, NB: nb, NT: tm.NT, A: tm}
+	f.Tge = make([][]float64, max(0, f.NT-1))
+	f.Tts = make([][][]float64, max(0, f.NT-1))
+
+	submit := func(t sched.Task) {
+		if s == nil {
+			t.Run(0)
+		} else {
+			s.Submit(t)
+		}
+	}
+
+	nt := f.NT
+	for k := 0; k < nt-1; k++ {
+		k := k
+		m1 := tm.TileRows(k + 1)
+		kw := tm.TileCols(k) // panel width (== nb except never: k < nt-1)
+		kr := min(m1, kw)
+		f.Tge[k] = make([]float64, kr*kr)
+		f.Tts[k] = make([][]float64, max(0, nt-k-2))
+
+		panel := tm.Tile(k+1, k)
+		tge := f.Tge[k]
+
+		// GEQRT on tile (k+1, k): factor the top of the panel.
+		submit(sched.Task{
+			Name:     taskName("GEQRT", k+1, k),
+			Priority: 100, // panel tasks are on the critical path
+			Deps: []sched.Dep{
+				sched.RW(tm.TileID(k+1, k)), sched.W(f.resV(k)), sched.W(f.resR(k)), sched.W(f.resTge(k)),
+			},
+			Run: func(int) {
+				work := make([]float64, kr+kw)
+				Geqrt(m1, kw, panel, m1, tge, kr, work, tc)
+			},
+		})
+
+		// Apply the GEQRT reflector two-sidedly to the trailing submatrix.
+		// Diagonal tile: Hᵀ·A·H in one task.
+		diag := tm.Tile(k+1, k+1)
+		submit(sched.Task{
+			Name:     taskName("SYRFB", k+1, k+1),
+			Priority: 50,
+			Deps: []sched.Dep{
+				sched.RW(tm.TileID(k+1, k+1)), sched.R(f.resV(k)), sched.R(f.resTge(k)),
+			},
+			Run: func(int) {
+				work := make([]float64, kr*m1)
+				Ormqr(blas.Left, blas.Trans, m1, m1, kr, panel, m1, tge, kr, diag, m1, work, tc)
+				Ormqr(blas.Right, blas.NoTrans, m1, m1, kr, panel, m1, tge, kr, diag, m1, work, tc)
+			},
+		})
+		for j := k + 2; j < nt; j++ {
+			j := j
+			nc := tm.TileCols(j)
+			// Left on row k+1: A[k+1][j] := Hᵀ·A[k+1][j].
+			rowT := tm.Tile(k+1, j)
+			submit(sched.Task{
+				Name: taskName("ORMQR-L", k+1, j),
+				Deps: []sched.Dep{
+					sched.RW(tm.TileID(k+1, j)), sched.R(f.resV(k)), sched.R(f.resTge(k)),
+				},
+				Run: func(int) {
+					work := make([]float64, kr*nc)
+					Ormqr(blas.Left, blas.Trans, m1, nc, kr, panel, m1, tge, kr, rowT, m1, work, tc)
+				},
+			})
+			// Right on column k+1 exploits symmetry: the two-sided result
+			// satisfies A[j][k+1] = (Hᵀ·A[k+1][j])ᵀ, so mirror the freshly
+			// left-updated tile instead of recomputing (a copy, not flops —
+			// this is how the tile algorithm keeps the 4/3·n³-class cost of
+			// a symmetry-aware reduction).
+			colT := tm.Tile(j, k+1)
+			mr := tm.TileRows(j)
+			submit(sched.Task{
+				Name: taskName("MIRROR", j, k+1),
+				Deps: []sched.Dep{
+					sched.W(tm.TileID(j, k+1)), sched.R(tm.TileID(k+1, j)),
+				},
+				Run: func(int) {
+					transposeTile(rowT, m1, mr, colT)
+				},
+			})
+		}
+
+		// TSQRT chain down the panel, each followed by its two-sided
+		// application to row/column pairs (k+1, i).
+		for i := k + 2; i < nt; i++ {
+			i := i
+			m2 := tm.TileRows(i)
+			tts := make([]float64, kw*kw)
+			f.Tts[k][i-(k+2)] = tts
+			vtile := tm.Tile(i, k)
+			submit(sched.Task{
+				Name:     taskName("TSQRT", i, k),
+				Priority: 100,
+				Deps: []sched.Dep{
+					sched.RW(f.resR(k)), sched.RW(tm.TileID(i, k)), sched.W(f.resTts(k, i)),
+				},
+				Run: func(int) {
+					work := make([]float64, kw)
+					Tsqrt(kw, m2, panel, m1, vtile, m2, tts, kw, work, tc)
+				},
+			})
+			// Left on row pair (k+1, i), every column k+1..nt-1.
+			for j := k + 1; j < nt; j++ {
+				j := j
+				nc := tm.TileCols(j)
+				a1 := tm.Tile(k+1, j)
+				a2 := tm.Tile(i, j)
+				submit(sched.Task{
+					Name: taskName("TSMQR-L", i, j),
+					Deps: []sched.Dep{
+						sched.RW(tm.TileID(k+1, j)), sched.RW(tm.TileID(i, j)),
+						sched.R(tm.TileID(i, k)), sched.R(f.resTts(k, i)),
+					},
+					Run: func(int) {
+						work := make([]float64, kw*nc)
+						Tsmqr(blas.Left, blas.Trans, kw, nc, 0, m2, a1, m1, a2, m2, vtile, m2, tts, kw, work, tc)
+					},
+				})
+			}
+			// Right on column pair (k+1, i). Only the 2×2 corner (rows
+			// {k+1, i}) needs real computation; every other row is the
+			// transpose of a freshly left-updated tile — mirror it
+			// (symmetry exploitation, as above).
+			for _, r := range []int{k + 1, i} {
+				r := r
+				mr := tm.TileRows(r)
+				a1 := tm.Tile(r, k+1)
+				a2 := tm.Tile(r, i)
+				submit(sched.Task{
+					Name: taskName("TSMQR-C", r, i),
+					Deps: []sched.Dep{
+						sched.RW(tm.TileID(r, k+1)), sched.RW(tm.TileID(r, i)),
+						sched.R(tm.TileID(i, k)), sched.R(f.resTts(k, i)),
+					},
+					Run: func(int) {
+						work := make([]float64, mr*kw)
+						Tsmqr(blas.Right, blas.NoTrans, kw, 0, mr, m2, a1, mr, a2, mr, vtile, m2, tts, kw, work, tc)
+					},
+				})
+			}
+			for r := k + 1; r < nt; r++ {
+				if r == k+1 || r == i {
+					continue
+				}
+				r := r
+				mr := tm.TileRows(r)
+				src1 := tm.Tile(k+1, r)
+				dst1 := tm.Tile(r, k+1)
+				src2 := tm.Tile(i, r)
+				dst2 := tm.Tile(r, i)
+				submit(sched.Task{
+					Name: taskName("MIRROR2", r, i),
+					Deps: []sched.Dep{
+						sched.W(tm.TileID(r, k+1)), sched.R(tm.TileID(k+1, r)),
+						sched.W(tm.TileID(r, i)), sched.R(tm.TileID(i, r)),
+					},
+					Run: func(int) {
+						transposeTile(src1, m1, mr, dst1)
+						transposeTile(src2, m2, mr, dst2)
+					},
+				})
+			}
+		}
+	}
+	if s != nil {
+		s.Wait()
+	}
+	f.Band = extractBand(tm, nb)
+	return f
+}
+
+// extractBand reads the band part out of the reduced tile matrix: the lower
+// triangles of the diagonal tiles plus the R triangles of the subdiagonal
+// tiles (everything below R is reflector storage, logically zero).
+func extractBand(tm *matrix.TileMatrix, nb int) *matrix.SymBand {
+	n := tm.N
+	b := matrix.NewSymBand(n, min(nb, max(0, n-1)))
+	for j := 0; j < n; j++ {
+		jmax := min(n-1, j+b.KD)
+		for i := j; i <= jmax; i++ {
+			ti, tj := i/nb, j/nb
+			if ti == tj {
+				b.Set(i, j, tm.At(i, j))
+			} else if ti == tj+1 {
+				// Subdiagonal tile: only its upper triangle (R) is matrix
+				// data.
+				ri, ci := i-ti*nb, j-tj*nb
+				if ri <= ci {
+					b.Set(i, j, tm.At(i, j))
+				}
+			}
+			// ti > tj+1 is reflector storage: zero in B.
+		}
+	}
+	return b
+}
+
+// transposeTile writes dst := srcᵀ, where src is an r×c compact column-major
+// tile and dst is c×r.
+func transposeTile(src []float64, r, c int, dst []float64) {
+	for j := 0; j < c; j++ {
+		col := src[j*r : j*r+r]
+		for i, v := range col {
+			dst[j+i*c] = v
+		}
+	}
+}
+
+func taskName(kind string, i, j int) string {
+	// Small helper to keep task submission readable; names only matter for
+	// traces.
+	return kind + "(" + itoa(i) + "," + itoa(j) + ")"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for v > 0 {
+		p--
+		buf[p] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[p:])
+}

@@ -1,0 +1,131 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md §4 for the index). Each
+// experiment returns a Table that the root bench_test.go and cmd/eigbench
+// render; the *shape* of the results (who wins, by what factor, where the
+// crossover falls) is the reproduction target — absolute rates belong to
+// this machine, not the paper's 48-core Opteron (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/model"
+	"repro/internal/testmat"
+	"repro/internal/trace"
+)
+
+// Table is a generic experiment result: a header row, data rows, and notes
+// that record the paper-vs-measured comparison.
+type Table struct {
+	Name    string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Name)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Headers)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// DefaultSizes are the matrix sizes used by the figure sweeps when the
+// caller does not override them. The paper sweeps 2 000–24 000 on 48 cores;
+// these laptop-scale sizes show the same qualitative behaviour (see the
+// substitution notes in DESIGN.md).
+var DefaultSizes = []int{128, 256, 384, 512}
+
+// solveTimed runs one driver and returns the collector with phase times.
+func solveTimed(a *matrix.Dense, two bool, o core.Options) (*trace.Collector, *core.Result, error) {
+	tc := trace.New()
+	o.Collector = tc
+	var res *core.Result
+	var err error
+	start := time.Now()
+	if two {
+		res, err = core.SyevTwoStage(a, o)
+	} else {
+		res, err = core.SyevOneStage(a, o)
+	}
+	tc.AddPhase("total", time.Since(start))
+	return tc, res, err
+}
+
+func matFor(n int) *matrix.Dense {
+	rng := rand.New(rand.NewSource(int64(n)*7919 + 13))
+	return testmat.RandomSym(rng, n)
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// newRng returns a deterministic source for the experiment generators.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// machineParams measures α/β once per process; the out-of-cache β probe
+// walks a 141 MB buffer, which is too costly to repeat per experiment.
+var machineParams = sync.OnceValue(func() model.Params {
+	return model.MeasureParams(runtime.NumCPU())
+})
+
+func sortFloats(s []float64) { sort.Float64s(s) }
+
+// coreOptionsDC is the standard configuration for the verification runs.
+func coreOptionsDC(workers int, tc *trace.Collector) core.Options {
+	return core.Options{Method: core.MethodDC, Vectors: true, Workers: workers, Collector: tc}
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.3fs", d.Seconds()) }
+
+// minDur returns the smaller duration, taking v unconditionally on the
+// first repetition.
+func minDur(cur, v time.Duration, first bool) time.Duration {
+	if first || v < cur {
+		return v
+	}
+	return cur
+}
+
+// gflops returns v flops over d as Gflop/s.
+func gflops(flops int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(flops) / d.Seconds() / 1e9
+}

@@ -1,0 +1,96 @@
+// Package blas provides the subset of Level 1, 2 and 3 BLAS operations in
+// double precision that the eigensolver stack is built on.
+//
+// Conventions follow the reference BLAS: matrices are stored column-major
+// with an explicit leading dimension (lda), so element (i, j) of an m×n
+// matrix a lives at a[i+j*lda] with lda >= m. All routines are pure Go and
+// allocation-free on their hot paths.
+//
+// The Level 3 kernels (Gemm, Syrk, Syr2k, Trmm) are cache-blocked. Gemm
+// additionally supports parallel execution over column panels via
+// SetParallelism; everything else is sequential because the eigensolver
+// extracts its parallelism one level up, from the task scheduler in
+// internal/sched.
+package blas
+
+import "fmt"
+
+// Transpose selects op(X) for the Level 2/3 routines.
+type Transpose byte
+
+const (
+	// NoTrans selects op(X) = X.
+	NoTrans Transpose = 'N'
+	// Trans selects op(X) = Xᵀ.
+	Trans Transpose = 'T'
+)
+
+// Uplo selects which triangle of a symmetric or triangular matrix is
+// referenced.
+type Uplo byte
+
+const (
+	// Upper references the upper triangle.
+	Upper Uplo = 'U'
+	// Lower references the lower triangle.
+	Lower Uplo = 'L'
+)
+
+// Side selects whether a matrix is applied from the left or the right.
+type Side byte
+
+const (
+	// Left applies the operator from the left.
+	Left Side = 'L'
+	// Right applies the operator from the right.
+	Right Side = 'R'
+)
+
+// Diag indicates whether a triangular matrix has a unit diagonal.
+type Diag byte
+
+const (
+	// NonUnit means the diagonal entries are referenced.
+	NonUnit Diag = 'N'
+	// Unit means the diagonal entries are assumed to be 1 and not referenced.
+	Unit Diag = 'U'
+)
+
+func badParam(routine, what string) string {
+	return fmt.Sprintf("blas: %s: bad %s", routine, what)
+}
+
+// checkMatrix panics if the described column-major matrix does not fit in a.
+func checkMatrix(routine string, m, n int, a []float64, lda int) {
+	if m < 0 || n < 0 {
+		panic(badParam(routine, "dimension"))
+	}
+	if lda < max(1, m) {
+		panic(badParam(routine, "leading dimension"))
+	}
+	if n > 0 && len(a) < (n-1)*lda+m {
+		panic(badParam(routine, "matrix slice length"))
+	}
+}
+
+// checkVector panics if the described strided vector does not fit in x.
+func checkVector(routine string, n int, x []float64, incX int) {
+	if n < 0 {
+		panic(badParam(routine, "vector length"))
+	}
+	if incX == 0 {
+		panic(badParam(routine, "vector increment"))
+	}
+	if n == 0 {
+		return
+	}
+	var need int
+	if incX > 0 {
+		need = (n-1)*incX + 1
+	} else {
+		need = (n-1)*(-incX) + 1
+	}
+	if len(x) < need {
+		panic(badParam(routine, "vector slice length"))
+	}
+}

@@ -1,0 +1,302 @@
+package blas
+
+// Dgemv computes y := alpha*op(A)*x + beta*y where op(A) is A or Aᵀ and A is
+// an m×n column-major matrix.
+func Dgemv(trans Transpose, m, n int, alpha float64, a []float64, lda int, x []float64, incX int, beta float64, y []float64, incY int) {
+	checkMatrix("dgemv", m, n, a, lda)
+	lenX, lenY := n, m
+	if trans == Trans {
+		lenX, lenY = m, n
+	}
+	checkVector("dgemv", lenX, x, incX)
+	checkVector("dgemv", lenY, y, incY)
+	if m == 0 || n == 0 {
+		return
+	}
+	if beta != 1 {
+		if beta == 0 {
+			iy := startIdx(lenY, incY)
+			for i := 0; i < lenY; i++ {
+				y[iy] = 0
+				iy += incY
+			}
+		} else {
+			Dscal(lenY, beta, y, incY)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	switch trans {
+	case NoTrans:
+		// y += alpha * A * x, traversing A by columns.
+		ix := startIdx(n, incX)
+		for j := 0; j < n; j++ {
+			t := alpha * x[ix]
+			ix += incX
+			if t != 0 {
+				col := a[j*lda : j*lda+m]
+				if incY == 1 {
+					for i, v := range col {
+						y[i] += t * v
+					}
+				} else {
+					iy := startIdx(m, incY)
+					for i := 0; i < m; i++ {
+						y[iy] += t * col[i]
+						iy += incY
+					}
+				}
+			}
+		}
+	case Trans:
+		// y += alpha * Aᵀ * x: each column of A dotted with x.
+		iy := startIdx(n, incY)
+		for j := 0; j < n; j++ {
+			col := a[j*lda : j*lda+m]
+			var sum float64
+			if incX == 1 {
+				for i, v := range col {
+					sum += v * x[i]
+				}
+			} else {
+				ix := startIdx(m, incX)
+				for i := 0; i < m; i++ {
+					sum += col[i] * x[ix]
+					ix += incX
+				}
+			}
+			y[iy] += alpha * sum
+			iy += incY
+		}
+	default:
+		panic(badParam("dgemv", "transpose"))
+	}
+}
+
+// Dsymv computes y := alpha*A*x + beta*y where A is an n×n symmetric matrix
+// of which only the triangle selected by uplo is referenced.
+func Dsymv(uplo Uplo, n int, alpha float64, a []float64, lda int, x []float64, incX int, beta float64, y []float64, incY int) {
+	checkMatrix("dsymv", n, n, a, lda)
+	checkVector("dsymv", n, x, incX)
+	checkVector("dsymv", n, y, incY)
+	if n == 0 {
+		return
+	}
+	if beta != 1 {
+		if beta == 0 {
+			iy := startIdx(n, incY)
+			for i := 0; i < n; i++ {
+				y[iy] = 0
+				iy += incY
+			}
+		} else {
+			Dscal(n, beta, y, incY)
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	if incX != 1 || incY != 1 {
+		// The eigensolver only uses unit strides; keep the strided path
+		// simple and correct rather than fast.
+		x0, y0 := startIdx(n, incX), startIdx(n, incY)
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += symAt(uplo, a, lda, j, i) * x[x0+i*incX]
+			}
+			y[y0+j*incY] += alpha * s
+		}
+		return
+	}
+	switch uplo {
+	case Lower:
+		for j := 0; j < n; j++ {
+			t := alpha * x[j]
+			var sum float64
+			col := a[j*lda:]
+			y[j] += t * col[j]
+			for i := j + 1; i < n; i++ {
+				v := col[i]
+				y[i] += t * v
+				sum += v * x[i]
+			}
+			y[j] += alpha * sum
+		}
+	case Upper:
+		for j := 0; j < n; j++ {
+			t := alpha * x[j]
+			var sum float64
+			col := a[j*lda:]
+			for i := 0; i < j; i++ {
+				v := col[i]
+				y[i] += t * v
+				sum += v * x[i]
+			}
+			y[j] += t*col[j] + alpha*sum
+		}
+	default:
+		panic(badParam("dsymv", "uplo"))
+	}
+}
+
+// symAt reads element (i, j) of a symmetric matrix stored in the given
+// triangle.
+func symAt(uplo Uplo, a []float64, lda, i, j int) float64 {
+	if (uplo == Lower && i < j) || (uplo == Upper && i > j) {
+		i, j = j, i
+	}
+	return a[i+j*lda]
+}
+
+// Dger computes the rank-1 update A := alpha*x*yᵀ + A for an m×n matrix A.
+func Dger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int, a []float64, lda int) {
+	checkMatrix("dger", m, n, a, lda)
+	checkVector("dger", m, x, incX)
+	checkVector("dger", n, y, incY)
+	if m == 0 || n == 0 || alpha == 0 {
+		return
+	}
+	iy := startIdx(n, incY)
+	for j := 0; j < n; j++ {
+		t := alpha * y[iy]
+		iy += incY
+		if t != 0 {
+			col := a[j*lda : j*lda+m]
+			if incX == 1 {
+				for i := range col {
+					col[i] += t * x[i]
+				}
+			} else {
+				ix := startIdx(m, incX)
+				for i := range col {
+					col[i] += t * x[ix]
+					ix += incX
+				}
+			}
+		}
+	}
+}
+
+// Dsyr computes the symmetric rank-1 update A := alpha*x*xᵀ + A, updating
+// only the triangle selected by uplo.
+func Dsyr(uplo Uplo, n int, alpha float64, x []float64, incX int, a []float64, lda int) {
+	checkMatrix("dsyr", n, n, a, lda)
+	checkVector("dsyr", n, x, incX)
+	if n == 0 || alpha == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		xj := x[startIdx(n, incX)+j*incX]
+		if xj == 0 {
+			continue
+		}
+		t := alpha * xj
+		col := a[j*lda:]
+		if uplo == Lower {
+			for i := j; i < n; i++ {
+				col[i] += t * x[startIdx(n, incX)+i*incX]
+			}
+		} else {
+			for i := 0; i <= j; i++ {
+				col[i] += t * x[startIdx(n, incX)+i*incX]
+			}
+		}
+	}
+}
+
+// Dsyr2 computes the symmetric rank-2 update A := alpha*(x*yᵀ + y*xᵀ) + A,
+// updating only the triangle selected by uplo. Only unit increments are
+// supported on the fast path; other strides fall back to a simple loop.
+func Dsyr2(uplo Uplo, n int, alpha float64, x []float64, incX int, y []float64, incY int, a []float64, lda int) {
+	checkMatrix("dsyr2", n, n, a, lda)
+	checkVector("dsyr2", n, x, incX)
+	checkVector("dsyr2", n, y, incY)
+	if n == 0 || alpha == 0 {
+		return
+	}
+	xat := func(i int) float64 { return x[startIdx(n, incX)+i*incX] }
+	yat := func(i int) float64 { return y[startIdx(n, incY)+i*incY] }
+	for j := 0; j < n; j++ {
+		tx := alpha * xat(j)
+		ty := alpha * yat(j)
+		col := a[j*lda:]
+		if uplo == Lower {
+			for i := j; i < n; i++ {
+				col[i] += tx*yat(i) + ty*xat(i)
+			}
+		} else {
+			for i := 0; i <= j; i++ {
+				col[i] += tx*yat(i) + ty*xat(i)
+			}
+		}
+	}
+}
+
+// Dtrmv computes x := op(A)*x for an n×n triangular matrix A.
+func Dtrmv(uplo Uplo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	checkMatrix("dtrmv", n, n, a, lda)
+	checkVector("dtrmv", n, x, incX)
+	if n == 0 {
+		return
+	}
+	if incX != 1 {
+		panic(badParam("dtrmv", "increment (only 1 supported)"))
+	}
+	unit := diag == Unit
+	switch {
+	case uplo == Upper && trans == NoTrans:
+		for i := 0; i < n; i++ {
+			var sum float64
+			if !unit {
+				sum = a[i+i*lda] * x[i]
+			} else {
+				sum = x[i]
+			}
+			for j := i + 1; j < n; j++ {
+				sum += a[i+j*lda] * x[j]
+			}
+			x[i] = sum
+		}
+	case uplo == Upper && trans == Trans:
+		for i := n - 1; i >= 0; i-- {
+			var sum float64
+			if !unit {
+				sum = a[i+i*lda] * x[i]
+			} else {
+				sum = x[i]
+			}
+			for j := 0; j < i; j++ {
+				sum += a[j+i*lda] * x[j]
+			}
+			x[i] = sum
+		}
+	case uplo == Lower && trans == NoTrans:
+		for i := n - 1; i >= 0; i-- {
+			var sum float64
+			if !unit {
+				sum = a[i+i*lda] * x[i]
+			} else {
+				sum = x[i]
+			}
+			for j := 0; j < i; j++ {
+				sum += a[i+j*lda] * x[j]
+			}
+			x[i] = sum
+		}
+	case uplo == Lower && trans == Trans:
+		for i := 0; i < n; i++ {
+			var sum float64
+			if !unit {
+				sum = a[i+i*lda] * x[i]
+			} else {
+				sum = x[i]
+			}
+			for j := i + 1; j < n; j++ {
+				sum += a[j+i*lda] * x[j]
+			}
+			x[i] = sum
+		}
+	}
+}

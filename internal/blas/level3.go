@@ -1,0 +1,741 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the number of goroutines Dgemm may fan out to. It defaults
+// to GOMAXPROCS and may be changed with SetParallelism. The eigensolver's
+// task scheduler usually wants this set to 1 so that parallelism is
+// extracted at the task level instead of inside individual kernels.
+var parallelism int64 = int64(runtime.GOMAXPROCS(0))
+
+// SetParallelism sets the maximum number of goroutines the Level 3 kernels
+// may use internally and returns the previous value. n < 1 is treated as 1.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(atomic.SwapInt64(&parallelism, int64(n)))
+}
+
+// Parallelism reports the current Level 3 kernel parallelism.
+func Parallelism() int { return int(atomic.LoadInt64(&parallelism)) }
+
+// Block sizes for the cache-blocked Dgemm micro-kernel. The kernel computes
+// C[mc×nc] += A[mc×kc]·B[kc×nc] with A packed row-panel-wise so the inner
+// loops stream contiguously.
+const (
+	gemmMC = 128
+	gemmKC = 128
+	gemmNC = 64
+)
+
+// Dgemm computes C := alpha*op(A)*op(B) + beta*C where op(A) is m×k and
+// op(B) is k×n, all column-major.
+func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	rowA, colA := m, k
+	if transA == Trans {
+		rowA, colA = k, m
+	}
+	rowB, colB := k, n
+	if transB == Trans {
+		rowB, colB = n, k
+	}
+	checkMatrix("dgemm", rowA, colA, a, lda)
+	checkMatrix("dgemm", rowB, colB, b, ldb)
+	checkMatrix("dgemm", m, n, c, ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			col := c[j*ldc : j*ldc+m]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+
+	p := Parallelism()
+	if p > 1 && n >= 2*gemmNC && int64(m)*int64(n)*int64(k) > 1<<18 {
+		// Split C into column panels; each panel is an independent gemm.
+		panels := (n + gemmNC - 1) / gemmNC
+		if p > panels {
+			p = panels
+		}
+		var wg sync.WaitGroup
+		var next int64
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(atomic.AddInt64(&next, 1)-1) * gemmNC
+					if j >= n {
+						return
+					}
+					jn := min(gemmNC, n-j)
+					var bsub []float64
+					if transB == NoTrans {
+						bsub = b[j*ldb:]
+					} else {
+						bsub = b[j:]
+					}
+					gemmSerial(transA, transB, m, jn, k, alpha, a, lda, bsub, ldb, c[j*ldc:], ldc)
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	gemmSerial(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// packPool recycles the A-packing buffers; tile kernels issue millions of
+// small gemms and a fresh 128×128 buffer per call would dominate their cost.
+var packPool = sync.Pool{
+	New: func() interface{} {
+		buf := make([]float64, gemmMC*gemmKC)
+		return &buf
+	},
+}
+
+// gemmSerial computes C += alpha*op(A)*op(B) (beta already applied) with
+// cache blocking.
+func gemmSerial(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	// Pack a kc×mc block of op(A) transposed into apack so that the
+	// micro-kernel reads it with stride 1 along k.
+	bufp := packPool.Get().(*[]float64)
+	defer packPool.Put(bufp)
+	apack := *bufp
+	for kk := 0; kk < k; kk += gemmKC {
+		kc := min(gemmKC, k-kk)
+		for ii := 0; ii < m; ii += gemmMC {
+			mc := min(gemmMC, m-ii)
+			// apack[l + i*kc] = op(A)[ii+i, kk+l]
+			if transA == NoTrans {
+				for i := 0; i < mc; i++ {
+					for l := 0; l < kc; l++ {
+						apack[l+i*kc] = a[(ii+i)+(kk+l)*lda]
+					}
+				}
+			} else {
+				for i := 0; i < mc; i++ {
+					col := a[(ii+i)*lda:]
+					copy(apack[i*kc:i*kc+kc], col[kk:kk+kc])
+				}
+			}
+			for jj := 0; jj < n; jj += gemmNC {
+				nc := min(gemmNC, n-jj)
+				gemmMicro(transB, mc, nc, kc, alpha, apack, b, ldb, kk, jj, c[ii+jj*ldc:], ldc)
+			}
+		}
+	}
+}
+
+// gemmMicro computes the mc×nc block update using the packed A block with a
+// 2×4 register-blocked inner kernel: two rows of packed A against four
+// packed columns of op(B) give eight independent accumulator chains, which
+// keeps the FPU pipeline full and reuses every load four times.
+func gemmMicro(transB Transpose, mc, nc, kc int, alpha float64, apack []float64, b []float64, ldb int, kk, jj int, c []float64, ldc int) {
+	var bpack [4 * gemmKC]float64
+	packB := func(j, w int) {
+		for q := 0; q < w; q++ {
+			dst := bpack[q*kc : q*kc+kc]
+			if transB == NoTrans {
+				src := b[(jj+j+q)*ldb+kk:]
+				for l := 0; l < kc; l++ {
+					dst[l] = alpha * src[l]
+				}
+			} else {
+				for l := 0; l < kc; l++ {
+					dst[l] = alpha * b[(jj+j+q)+(kk+l)*ldb]
+				}
+			}
+		}
+	}
+	j := 0
+	for ; j+3 < nc; j += 4 {
+		packB(j, 4)
+		b0 := bpack[0*kc : 0*kc+kc]
+		b1 := bpack[1*kc : 1*kc+kc]
+		b2 := bpack[2*kc : 2*kc+kc]
+		b3 := bpack[3*kc : 3*kc+kc]
+		c0 := c[(j+0)*ldc:]
+		c1 := c[(j+1)*ldc:]
+		c2 := c[(j+2)*ldc:]
+		c3 := c[(j+3)*ldc:]
+		i := 0
+		for ; i+1 < mc; i += 2 {
+			a0 := apack[i*kc : i*kc+kc]
+			a1 := apack[(i+1)*kc : (i+1)*kc+kc]
+			var s00, s01, s02, s03, s10, s11, s12, s13 float64
+			for l := 0; l < kc; l++ {
+				av0, av1 := a0[l], a1[l]
+				s00 += av0 * b0[l]
+				s01 += av0 * b1[l]
+				s02 += av0 * b2[l]
+				s03 += av0 * b3[l]
+				s10 += av1 * b0[l]
+				s11 += av1 * b1[l]
+				s12 += av1 * b2[l]
+				s13 += av1 * b3[l]
+			}
+			c0[i] += s00
+			c1[i] += s01
+			c2[i] += s02
+			c3[i] += s03
+			c0[i+1] += s10
+			c1[i+1] += s11
+			c2[i+1] += s12
+			c3[i+1] += s13
+		}
+		if i < mc {
+			a0 := apack[i*kc : i*kc+kc]
+			var s0, s1, s2, s3 float64
+			for l := 0; l < kc; l++ {
+				av := a0[l]
+				s0 += av * b0[l]
+				s1 += av * b1[l]
+				s2 += av * b2[l]
+				s3 += av * b3[l]
+			}
+			c0[i] += s0
+			c1[i] += s1
+			c2[i] += s2
+			c3[i] += s3
+		}
+	}
+	for ; j < nc; j++ {
+		packB(j, 1)
+		b0 := bpack[:kc]
+		ccol := c[j*ldc : j*ldc+mc]
+		for i := 0; i < mc; i++ {
+			arow := apack[i*kc : i*kc+kc]
+			var sum float64
+			for l, av := range arow {
+				sum += av * b0[l]
+			}
+			ccol[i] += sum
+		}
+	}
+}
+
+// Dsyrk computes C := alpha*op(A)*op(A)ᵀ + beta*C updating only the triangle
+// of C selected by uplo. op(A) is n×k.
+func Dsyrk(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	rowA, colA := n, k
+	if trans == Trans {
+		rowA, colA = k, n
+	}
+	checkMatrix("dsyrk", rowA, colA, a, lda)
+	checkMatrix("dsyrk", n, n, c, ldc)
+	if n == 0 {
+		return
+	}
+	scaleTriangle(uplo, n, beta, c, ldc)
+	if alpha == 0 || k == 0 {
+		return
+	}
+	if trans == NoTrans {
+		// Stream columns: C[:,j] += alpha·A[j,l]·A[:,l] per l.
+		for j := 0; j < n; j++ {
+			lo, hi := 0, j+1
+			if uplo == Lower {
+				lo, hi = j, n
+			}
+			ccol := c[j*ldc:]
+			for l := 0; l < k; l++ {
+				t := alpha * a[j+l*lda]
+				if t == 0 {
+					continue
+				}
+				acol := a[l*lda:]
+				for i := lo; i < hi; i++ {
+					ccol[i] += t * acol[i]
+				}
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for l := 0; l < k; l++ {
+				sum += a[l+i*lda] * a[l+j*lda]
+			}
+			c[i+j*ldc] += alpha * sum
+		}
+	}
+}
+
+// Dsyr2k computes C := alpha*(op(A)*op(B)ᵀ + op(B)*op(A)ᵀ) + beta*C updating
+// only the triangle of C selected by uplo. op(A) and op(B) are n×k.
+func Dsyr2k(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	rowA, colA := n, k
+	if trans == Trans {
+		rowA, colA = k, n
+	}
+	checkMatrix("dsyr2k", rowA, colA, a, lda)
+	checkMatrix("dsyr2k", rowA, colA, b, ldb)
+	checkMatrix("dsyr2k", n, n, c, ldc)
+	if n == 0 {
+		return
+	}
+	scaleTriangle(uplo, n, beta, c, ldc)
+	if alpha == 0 || k == 0 {
+		return
+	}
+	if trans == NoTrans {
+		// Stream columns: C[:,j] += alpha·(B[j,l]·A[:,l] + A[j,l]·B[:,l]).
+		for j := 0; j < n; j++ {
+			lo, hi := 0, j+1
+			if uplo == Lower {
+				lo, hi = j, n
+			}
+			ccol := c[j*ldc:]
+			for l := 0; l < k; l++ {
+				ta := alpha * b[j+l*ldb]
+				tb := alpha * a[j+l*lda]
+				acol := a[l*lda:]
+				bcol := b[l*ldb:]
+				for i := lo; i < hi; i++ {
+					ccol[i] += ta*acol[i] + tb*bcol[i]
+				}
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for l := 0; l < k; l++ {
+				sum += a[l+i*lda]*b[l+j*ldb] + b[l+i*ldb]*a[l+j*lda]
+			}
+			c[i+j*ldc] += alpha * sum
+		}
+	}
+}
+
+func scaleTriangle(uplo Uplo, n int, beta float64, c []float64, ldc int) {
+	if beta == 1 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		col := c[j*ldc:]
+		for i := lo; i < hi; i++ {
+			if beta == 0 {
+				col[i] = 0
+			} else {
+				col[i] *= beta
+			}
+		}
+	}
+}
+
+// Dtrmm computes B := alpha*op(A)*B (side Left) or B := alpha*B*op(A)
+// (side Right) where A is triangular and B is m×n.
+func Dtrmm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkMatrix("dtrmm", na, na, a, lda)
+	checkMatrix("dtrmm", m, n, b, ldb)
+	if m == 0 || n == 0 {
+		return
+	}
+	// Recursive blocking: split the triangle so the off-diagonal half of
+	// the work goes through the fast Dgemm kernel; only the small diagonal
+	// blocks run the scalar triangular loops. This matters because every
+	// blocked reflector application (Larfb/Tsmqr) calls Dtrmm on its
+	// triangular factor.
+	const trmmBase = 24
+	if na > 2*trmmBase {
+		h := na / 2
+		if side == Left {
+			b1 := b
+			b2 := b[h:]
+			a11 := a
+			a22 := a[h+h*lda:]
+			switch {
+			case uplo == Upper && trans == NoTrans:
+				// B1 := A11·B1 + A12·B2 ; B2 := A22·B2.
+				Dtrmm(side, uplo, trans, diag, h, n, alpha, a11, lda, b1, ldb)
+				Dgemm(NoTrans, NoTrans, h, n, m-h, alpha, a[h*lda:], lda, b2, ldb, 1, b1, ldb)
+				Dtrmm(side, uplo, trans, diag, m-h, n, alpha, a22, lda, b2, ldb)
+			case uplo == Upper && trans == Trans:
+				// B2 := A22ᵀ·B2 + A12ᵀ·B1 ; B1 := A11ᵀ·B1.
+				Dtrmm(side, uplo, trans, diag, m-h, n, alpha, a22, lda, b2, ldb)
+				Dgemm(Trans, NoTrans, m-h, n, h, alpha, a[h*lda:], lda, b1, ldb, 1, b2, ldb)
+				Dtrmm(side, uplo, trans, diag, h, n, alpha, a11, lda, b1, ldb)
+			case uplo == Lower && trans == NoTrans:
+				// B2 := A22·B2 + A21·B1 ; B1 := A11·B1.
+				Dtrmm(side, uplo, trans, diag, m-h, n, alpha, a22, lda, b2, ldb)
+				Dgemm(NoTrans, NoTrans, m-h, n, h, alpha, a[h:], lda, b1, ldb, 1, b2, ldb)
+				Dtrmm(side, uplo, trans, diag, h, n, alpha, a11, lda, b1, ldb)
+			default: // Lower, Trans
+				// B1 := A11ᵀ·B1 + A21ᵀ·B2 ; B2 := A22ᵀ·B2.
+				Dtrmm(side, uplo, trans, diag, h, n, alpha, a11, lda, b1, ldb)
+				Dgemm(Trans, NoTrans, h, n, m-h, alpha, a[h:], lda, b2, ldb, 1, b1, ldb)
+				Dtrmm(side, uplo, trans, diag, m-h, n, alpha, a22, lda, b2, ldb)
+			}
+			return
+		}
+		// side == Right: B := alpha·B·op(A), split the columns of B.
+		b1 := b
+		b2 := b[h*ldb:]
+		a11 := a
+		a22 := a[h+h*lda:]
+		switch {
+		case uplo == Upper && trans == NoTrans:
+			// B2 := B2·A22 + B1·A12 ; B1 := B1·A11.
+			Dtrmm(side, uplo, trans, diag, m, n-h, alpha, a22, lda, b2, ldb)
+			Dgemm(NoTrans, NoTrans, m, n-h, h, alpha, b1, ldb, a[h*lda:], lda, 1, b2, ldb)
+			Dtrmm(side, uplo, trans, diag, m, h, alpha, a11, lda, b1, ldb)
+		case uplo == Upper && trans == Trans:
+			// B1 := B1·A11ᵀ + B2·A12ᵀ ; B2 := B2·A22ᵀ.
+			Dtrmm(side, uplo, trans, diag, m, h, alpha, a11, lda, b1, ldb)
+			Dgemm(NoTrans, Trans, m, h, n-h, alpha, b2, ldb, a[h*lda:], lda, 1, b1, ldb)
+			Dtrmm(side, uplo, trans, diag, m, n-h, alpha, a22, lda, b2, ldb)
+		case uplo == Lower && trans == NoTrans:
+			// B1 := B1·A11 + B2·A21 ; B2 := B2·A22.
+			Dtrmm(side, uplo, trans, diag, m, h, alpha, a11, lda, b1, ldb)
+			Dgemm(NoTrans, NoTrans, m, h, n-h, alpha, b2, ldb, a[h:], lda, 1, b1, ldb)
+			Dtrmm(side, uplo, trans, diag, m, n-h, alpha, a22, lda, b2, ldb)
+		default: // Lower, Trans
+			// B2 := B2·A22ᵀ + B1·A21ᵀ ; B1 := B1·A11ᵀ.
+			Dtrmm(side, uplo, trans, diag, m, n-h, alpha, a22, lda, b2, ldb)
+			Dgemm(NoTrans, Trans, m, n-h, h, alpha, b1, ldb, a[h:], lda, 1, b2, ldb)
+			Dtrmm(side, uplo, trans, diag, m, h, alpha, a11, lda, b1, ldb)
+		}
+		return
+	}
+	if alpha == 0 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] = 0
+			}
+		}
+		return
+	}
+	unit := diag == Unit
+	if side == Left {
+		// B := alpha·op(A)·B using the reference-BLAS column-streaming
+		// loops: every inner loop walks a contiguous column of A or B, so
+		// the kernel runs at gemm-class speed (it sits on the hot path of
+		// every blocked reflector application).
+		switch {
+		case uplo == Upper && trans == NoTrans:
+			for j := 0; j < n; j++ {
+				col := b[j*ldb : j*ldb+m]
+				for k := 0; k < m; k++ {
+					if col[k] == 0 {
+						continue
+					}
+					temp := alpha * col[k]
+					acol := a[k*lda:]
+					for i := 0; i < k; i++ {
+						col[i] += temp * acol[i]
+					}
+					if !unit {
+						temp *= acol[k]
+					}
+					col[k] = temp
+				}
+			}
+		case uplo == Upper && trans == Trans:
+			for j := 0; j < n; j++ {
+				col := b[j*ldb : j*ldb+m]
+				for k := m - 1; k >= 0; k-- {
+					acol := a[k*lda:]
+					temp := col[k]
+					if !unit {
+						temp *= acol[k]
+					}
+					for i := 0; i < k; i++ {
+						temp += acol[i] * col[i]
+					}
+					col[k] = alpha * temp
+				}
+			}
+		case uplo == Lower && trans == NoTrans:
+			for j := 0; j < n; j++ {
+				col := b[j*ldb : j*ldb+m]
+				for k := m - 1; k >= 0; k-- {
+					if col[k] == 0 {
+						continue
+					}
+					temp := alpha * col[k]
+					acol := a[k*lda:]
+					for i := k + 1; i < m; i++ {
+						col[i] += temp * acol[i]
+					}
+					if !unit {
+						temp *= acol[k]
+					}
+					col[k] = temp
+				}
+			}
+		default: // Lower, Trans
+			for j := 0; j < n; j++ {
+				col := b[j*ldb : j*ldb+m]
+				for k := 0; k < m; k++ {
+					acol := a[k*lda:]
+					temp := col[k]
+					if !unit {
+						temp *= acol[k]
+					}
+					for i := k + 1; i < m; i++ {
+						temp += acol[i] * col[i]
+					}
+					col[k] = alpha * temp
+				}
+			}
+		}
+		return
+	}
+	// side == Right: B := alpha * B * op(A). Work row-block-wise over
+	// columns of the result. Let upNoT mark whether column j of the result
+	// depends on columns j..end (true) or 0..j (false) of B.
+	upNoT := (uplo == Upper && trans == NoTrans) || (uplo == Lower && trans == Trans)
+	aval := func(i, j int) float64 {
+		if trans == Trans {
+			i, j = j, i
+		}
+		if i == j && unit {
+			return 1
+		}
+		if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
+			return 0
+		}
+		return a[i+j*lda]
+	}
+	if upNoT {
+		// result col j = sum_{l<=j} B[:,l]*opA[l,j]: process j descending.
+		for j := n - 1; j >= 0; j-- {
+			dst := b[j*ldb : j*ldb+m]
+			d := alpha * aval(j, j)
+			for i := range dst {
+				dst[i] *= d
+			}
+			for l := 0; l < j; l++ {
+				t := alpha * aval(l, j)
+				if t != 0 {
+					src := b[l*ldb : l*ldb+m]
+					for i := range dst {
+						dst[i] += t * src[i]
+					}
+				}
+			}
+		}
+	} else {
+		// result col j depends on B[:,l] for l>=j: process j ascending.
+		for j := 0; j < n; j++ {
+			dst := b[j*ldb : j*ldb+m]
+			d := alpha * aval(j, j)
+			for i := range dst {
+				dst[i] *= d
+			}
+			for l := j + 1; l < n; l++ {
+				t := alpha * aval(l, j)
+				if t != 0 {
+					src := b[l*ldb : l*ldb+m]
+					for i := range dst {
+						dst[i] += t * src[i]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Dtrsm solves op(A)*X = alpha*B (side Left) or X*op(A) = alpha*B (side
+// Right) for X, overwriting B. A is triangular.
+func Dtrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkMatrix("dtrsm", na, na, a, lda)
+	checkMatrix("dtrsm", m, n, b, ldb)
+	if m == 0 || n == 0 {
+		return
+	}
+	unit := diag == Unit
+	aval := func(i, j int) float64 {
+		if trans == Trans {
+			i, j = j, i
+		}
+		if (uplo == Upper && i > j) || (uplo == Lower && i < j) {
+			return 0
+		}
+		return a[i+j*lda]
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] *= alpha
+			}
+		}
+	}
+	if side == Left {
+		// Solve op(A) X = B column by column via substitution. Effective
+		// matrix op(A) is lower when (Lower,NoTrans) or (Upper,Trans).
+		lower := (uplo == Lower && trans == NoTrans) || (uplo == Upper && trans == Trans)
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			if lower {
+				for i := 0; i < m; i++ {
+					s := col[i]
+					for l := 0; l < i; l++ {
+						s -= aval(i, l) * col[l]
+					}
+					if !unit {
+						s /= aval(i, i)
+					}
+					col[i] = s
+				}
+			} else {
+				for i := m - 1; i >= 0; i-- {
+					s := col[i]
+					for l := i + 1; l < m; l++ {
+						s -= aval(i, l) * col[l]
+					}
+					if !unit {
+						s /= aval(i, i)
+					}
+					col[i] = s
+				}
+			}
+		}
+		return
+	}
+	// side == Right: X op(A) = B, i.e. column j of X satisfies
+	// sum_l X[:,l] opA[l,j] = B[:,j]. Effective op(A) lower triangular means
+	// X[:,j] depends on X[:,l] for l>j → iterate j descending; upper means
+	// ascending.
+	lower := (uplo == Lower && trans == NoTrans) || (uplo == Upper && trans == Trans)
+	if lower {
+		for j := n - 1; j >= 0; j-- {
+			dst := b[j*ldb : j*ldb+m]
+			for l := j + 1; l < n; l++ {
+				t := aval(l, j)
+				if t != 0 {
+					src := b[l*ldb : l*ldb+m]
+					for i := range dst {
+						dst[i] -= t * src[i]
+					}
+				}
+			}
+			if !unit {
+				d := aval(j, j)
+				for i := range dst {
+					dst[i] /= d
+				}
+			}
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			dst := b[j*ldb : j*ldb+m]
+			for l := 0; l < j; l++ {
+				t := aval(l, j)
+				if t != 0 {
+					src := b[l*ldb : l*ldb+m]
+					for i := range dst {
+						dst[i] -= t * src[i]
+					}
+				}
+			}
+			if !unit {
+				d := aval(j, j)
+				for i := range dst {
+					dst[i] /= d
+				}
+			}
+		}
+	}
+}
+
+// Dsymm computes C := alpha*A*B + beta*C (side Left) or
+// C := alpha*B*A + beta*C (side Right) where A is symmetric with only the
+// uplo triangle referenced and C is m×n.
+func Dsymm(side Side, uplo Uplo, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	checkMatrix("dsymm", na, na, a, lda)
+	checkMatrix("dsymm", m, n, b, ldb)
+	checkMatrix("dsymm", m, n, c, ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+	for j := 0; j < n; j++ {
+		col := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range col {
+				col[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range col {
+				col[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	if side == Left {
+		for j := 0; j < n; j++ {
+			bcol := b[j*ldb : j*ldb+m]
+			ccol := c[j*ldc : j*ldc+m]
+			for i := 0; i < m; i++ {
+				var sum float64
+				for l := 0; l < m; l++ {
+					sum += symAt(uplo, a, lda, i, l) * bcol[l]
+				}
+				ccol[i] += alpha * sum
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		ccol := c[j*ldc : j*ldc+m]
+		for l := 0; l < n; l++ {
+			t := alpha * symAt(uplo, a, lda, l, j)
+			if t != 0 {
+				bcol := b[l*ldb : l*ldb+m]
+				for i := range ccol {
+					ccol[i] += t * bcol[i]
+				}
+			}
+		}
+	}
+}

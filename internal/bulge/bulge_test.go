@@ -1,0 +1,256 @@
+package bulge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/householder"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/tridiag"
+)
+
+func randBand(rng *rand.Rand, n, kd int) *matrix.SymBand {
+	b := matrix.NewSymBand(n, kd)
+	for j := 0; j < n; j++ {
+		for i := j; i <= min(n-1, j+b.KD); i++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return b
+}
+
+// buildQ2 accumulates the dense Q₂ = H(0,0)·H(0,1)⋯ from the recorded
+// reflectors in generation order.
+func buildQ2(res *Result) *matrix.Dense {
+	n := res.N
+	q := matrix.Eye(n)
+	work := make([]float64, n)
+	for _, r := range res.Refs {
+		if r.Tau == 0 {
+			continue
+		}
+		v := make([]float64, n)
+		v[r.Row] = 1
+		copy(v[r.Row+1:], r.V)
+		// q := q·H (right multiplication accumulates the product in
+		// generation order).
+		householder.Larf(blas.Right, n, n, v, 1, r.Tau, q.Data, q.Stride, work)
+	}
+	return q
+}
+
+func TestChaseTridiagonalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, kd int }{{6, 2}, {10, 3}, {16, 4}, {17, 5}, {24, 4}, {30, 8}, {12, 11}, {9, 2}} {
+		b := randBand(rng, tc.n, tc.kd)
+		res := Chase(b, nil, 0, nil)
+		n := tc.n
+		// 1. The result must be tridiagonal: reconstruct and compare.
+		q2 := buildQ2(res)
+		// Q2ᵀ·B·Q2 == T.
+		bd := b.ToDense()
+		tmp := matrix.NewDense(n, n)
+		blas.Dgemm(blas.Trans, blas.NoTrans, n, n, n, 1, q2.Data, q2.Stride, bd.Data, bd.Stride, 0, tmp.Data, tmp.Stride)
+		rec := matrix.NewDense(n, n)
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, tmp.Data, tmp.Stride, q2.Data, q2.Stride, 0, rec.Data, rec.Stride)
+		td := res.T.ToDense()
+		scale := bd.FrobeniusNorm() + 1
+		if !rec.Equalish(td, 1e-12*scale*float64(n)) {
+			t.Fatalf("n=%d kd=%d: Q2ᵀ·B·Q2 != T", tc.n, tc.kd)
+		}
+		// 2. Q2 orthogonal.
+		qtq := matrix.NewDense(n, n)
+		blas.Dgemm(blas.Trans, blas.NoTrans, n, n, n, 1, q2.Data, q2.Stride, q2.Data, q2.Stride, 0, qtq.Data, qtq.Stride)
+		if !qtq.Equalish(matrix.Eye(n), 1e-12*float64(n)) {
+			t.Fatalf("n=%d kd=%d: Q2 not orthogonal", tc.n, tc.kd)
+		}
+	}
+}
+
+func TestChaseEigenvaluesPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ n, kd int }{{20, 4}, {40, 6}, {33, 5}} {
+		b := randBand(rng, tc.n, tc.kd)
+		res := Chase(b, nil, 0, nil)
+		// Eigenvalues of T.
+		dT := append([]float64(nil), res.T.D...)
+		eT := append([]float64(nil), res.T.E...)
+		if err := tridiag.Sterf(dT, eT); err != nil {
+			t.Fatal(err)
+		}
+		// Eigenvalues of B via a dense similarity-free route: Sturm counts
+		// on the dense matrix are unavailable, so use trace/Frobenius
+		// invariants plus a coarse spectral check via Sturm on T against
+		// Gershgorin-bounded bisection of B expanded... keep it simple:
+		// trace and Frobenius norm.
+		var trB, frB float64
+		bd := b.ToDense()
+		for i := 0; i < tc.n; i++ {
+			trB += bd.At(i, i)
+			for j := 0; j < tc.n; j++ {
+				frB += bd.At(i, j) * bd.At(i, j)
+			}
+		}
+		var trT, frT float64
+		for _, v := range dT {
+			trT += v
+			frT += v * v
+		}
+		if math.Abs(trB-trT) > 1e-11*float64(tc.n) {
+			t.Fatalf("n=%d kd=%d: trace changed: %g vs %g", tc.n, tc.kd, trB, trT)
+		}
+		if math.Abs(frB-frT) > 1e-9*frB {
+			t.Fatalf("n=%d kd=%d: Frobenius changed", tc.n, tc.kd)
+		}
+	}
+}
+
+func TestChaseAlreadyTridiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := randBand(rng, 12, 1)
+	res := Chase(b, nil, 0, nil)
+	if len(res.Refs) != 0 {
+		t.Fatalf("kd=1 input should produce no reflectors, got %d", len(res.Refs))
+	}
+	for i := 0; i < 12; i++ {
+		if res.T.D[i] != b.At(i, i) {
+			t.Fatal("kd=1 diagonal altered")
+		}
+	}
+}
+
+func TestChaseSmallAndDegenerate(t *testing.T) {
+	// n ≤ 2 and zero matrices must not crash.
+	for _, n := range []int{0, 1, 2, 3} {
+		b := matrix.NewSymBand(n, min(2, max(0, n-1)))
+		res := Chase(b, nil, 0, nil)
+		if res.T.N() != n {
+			t.Fatalf("n=%d: bad T size", n)
+		}
+	}
+	// Diagonal matrix in band form: nothing to chase.
+	b := matrix.NewSymBand(8, 3)
+	for i := 0; i < 8; i++ {
+		b.Set(i, i, float64(i))
+	}
+	res := Chase(b, nil, 0, nil)
+	for i := 0; i < 8; i++ {
+		if res.T.D[i] != float64(i) {
+			t.Fatal("diagonal matrix altered")
+		}
+		if i < 7 && res.T.E[i] != 0 {
+			t.Fatal("diagonal matrix grew off-diagonal entries")
+		}
+	}
+}
+
+func TestChaseScheduledMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, kd := 40, 5
+	b := randBand(rng, n, kd)
+	ref := Chase(b, nil, 0, nil)
+	for _, workers := range []int{1, 3} {
+		s := sched.New(workers)
+		got := Chase(b, s, 0, nil)
+		s.Shutdown()
+		for i := range ref.T.D {
+			if ref.T.D[i] != got.T.D[i] {
+				t.Fatalf("workers=%d: D[%d] differs", workers, i)
+			}
+		}
+		for i := range ref.T.E {
+			if ref.T.E[i] != got.T.E[i] {
+				t.Fatalf("workers=%d: E[%d] differs", workers, i)
+			}
+		}
+		if len(ref.Refs) != len(got.Refs) {
+			t.Fatalf("workers=%d: reflector count differs", workers)
+		}
+		for i := range ref.Refs {
+			if ref.Refs[i].Tau != got.Refs[i].Tau || ref.Refs[i].Row != got.Refs[i].Row {
+				t.Fatalf("workers=%d: reflector %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestChaseAffinityRestriction(t *testing.T) {
+	// With affinity set, chase tasks must stay on the designated workers
+	// (the paper's core-restriction technique for the memory-bound stage).
+	rng := rand.New(rand.NewSource(5))
+	b := randBand(rng, 24, 4)
+	s := sched.New(4, sched.WithTrace())
+	Chase(b, s, 0b0011, nil) // workers 0 and 1 only
+	events := s.Trace()
+	s.Shutdown()
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	for _, ev := range events {
+		if ev.Worker > 1 {
+			t.Fatalf("task %q ran on worker %d despite affinity", ev.Name, ev.Worker)
+		}
+	}
+}
+
+func TestReflectorLattice(t *testing.T) {
+	// Reflector (s, ℓ) must start at row s + ℓ·bw + 1 and stay within the
+	// matrix; essential lengths never exceed bw−1.
+	rng := rand.New(rand.NewSource(6))
+	n, kd := 30, 4
+	b := randBand(rng, n, kd)
+	res := Chase(b, nil, 0, nil)
+	for _, r := range res.Refs {
+		wantRow := r.Sweep + r.Level*kd + 1
+		if r.Row != wantRow {
+			t.Fatalf("reflector (%d,%d) at row %d, want %d", r.Sweep, r.Level, r.Row, wantRow)
+		}
+		if len(r.V) > kd-1 {
+			t.Fatalf("reflector (%d,%d) essential length %d > kd-1", r.Sweep, r.Level, len(r.V))
+		}
+		if r.Row+len(r.V) > n-1 {
+			t.Fatalf("reflector (%d,%d) exceeds matrix", r.Sweep, r.Level)
+		}
+	}
+}
+
+func TestChaseStaticMatchesDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, kd := 36, 4
+	b := randBand(rng, n, kd)
+	ref := Chase(b, nil, 0, nil)
+	for _, workers := range []int{1, 2, 4} {
+		got := ChaseStatic(b, workers, nil)
+		for i := range ref.T.D {
+			if ref.T.D[i] != got.T.D[i] {
+				t.Fatalf("static workers=%d: D[%d] differs", workers, i)
+			}
+		}
+		for i := range ref.T.E {
+			if ref.T.E[i] != got.T.E[i] {
+				t.Fatalf("static workers=%d: E[%d] differs", workers, i)
+			}
+		}
+		if len(ref.Refs) != len(got.Refs) {
+			t.Fatalf("static workers=%d: reflector count %d vs %d", workers, len(got.Refs), len(ref.Refs))
+		}
+		for i := range ref.Refs {
+			if ref.Refs[i].Tau != got.Refs[i].Tau {
+				t.Fatalf("static workers=%d: reflector %d tau differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestChaseStaticDegenerate(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5} {
+		b := matrix.NewSymBand(n, min(1, max(0, n-1)))
+		res := ChaseStatic(b, 3, nil)
+		if res.T.N() != n {
+			t.Fatalf("n=%d: bad T size", n)
+		}
+	}
+}

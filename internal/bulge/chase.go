@@ -1,0 +1,259 @@
+// Package bulge implements stage 2 of the two-stage reduction: the
+// column-wise bulge-chasing algorithm (paper §5.2, Figure 2) that reduces a
+// symmetric band matrix with bandwidth b to tridiagonal form,
+// B = Q₂·T·Q₂ᵀ, while harvesting the Householder reflectors that make up
+// Q₂ for the eigenvector back-transformation.
+//
+// Each sweep s eliminates the entries of column s below the first
+// subdiagonal and chases the resulting bulge down the band:
+//
+//   - xHBCEU starts the sweep: one reflector annihilates B[s+2:s+b+1, s] and
+//     is applied two-sidedly to the leading symmetric triangle.
+//   - xHBREL applies the previous reflector from the right to the next
+//     off-diagonal block, which fills in a triangular bulge; following the
+//     paper's delayed-annihilation strategy it eliminates only the bulge's
+//     first column (the rest overlaps the bulges of later sweeps and is
+//     chased by them), generating the next reflector and applying it from
+//     the left to the block while it is still in cache.
+//   - xHBLRU applies that reflector two-sidedly to the next symmetric
+//     triangle.
+//
+// The matrix is kept in an extended band (2b−1 subdiagonals) because the
+// transient bulges live just below the original band.
+package bulge
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Reflector is one elementary Householder transformation of Q₂. The full
+// vector is [1; V] acting on rows Row..Row+len(V) of the matrix, and
+// Q₂ = H(0,0)·H(0,1)⋯H(s,ℓ)⋯ in generation order (sweep-major, level-minor).
+type Reflector struct {
+	Sweep int     // sweep (column) index that generated it
+	Level int     // chase depth: 0 for the xHBCEU reflector
+	Row   int     // global row of the implicit leading 1
+	V     []float64 // essential part (length = block length − 1)
+	Tau   float64
+}
+
+// Result is the output of Chase.
+type Result struct {
+	N int // matrix order
+	B int // bandwidth of the input band matrix
+	// T is the resulting tridiagonal matrix.
+	T *matrix.Tridiagonal
+	// Refs holds the Q₂ reflectors in generation order. Identity reflectors
+	// (tau = 0) are included so the diamond grouping in backtransform can
+	// rely on the regular (sweep, level) lattice.
+	Refs []Reflector
+}
+
+// Chase reduces the symmetric band matrix b2 (not modified) to tridiagonal
+// form. If s is non-nil the kernel calls run as scheduler tasks whose
+// dependences reproduce the sequential order exactly (the paper's
+// fine-grained stage-2 scheduling); affinity restricts those tasks to a
+// subset of workers (0 = all), implementing the paper's core restriction
+// for this memory-bound stage. tc may be nil.
+func Chase(b2 *matrix.SymBand, s *sched.Scheduler, affinity uint64, tc *trace.Collector) *Result {
+	n := b2.N
+	bw := b2.KD
+	res := &Result{N: n, B: bw}
+	if n == 0 {
+		res.T = matrix.NewTridiagonal(0)
+		return res
+	}
+	if bw <= 1 {
+		// Already tridiagonal.
+		res.T = matrix.TridiagonalFromBand(b2)
+		return res
+	}
+
+	// Working copy with room for the bulges.
+	w := newWorkBand(b2)
+
+	refs := chaseKernels(w, tc, func(t sched.Task) {
+		if s == nil {
+			t.Run(0)
+		} else {
+			t.Affinity = affinity
+			s.Submit(t)
+		}
+	})
+	if s != nil {
+		s.Wait()
+	}
+
+	res.T = w.extractTridiagonal()
+	for i := range refs {
+		if refs[i].V != nil {
+			res.Refs = append(res.Refs, refs[i])
+		}
+	}
+	return res
+}
+
+// ChaseStatic runs the same kernel tasks under the static progress-table
+// runtime (the paper's other scheduling mode for this stage): tasks are
+// assigned to workers round-robin in generation order and cross-worker
+// ordering is enforced by explicit After edges derived from the same
+// conservative block resources the dynamic scheduler uses. The result is
+// bitwise identical to Chase.
+func ChaseStatic(b2 *matrix.SymBand, workers int, tc *trace.Collector) *Result {
+	n := b2.N
+	bw := b2.KD
+	res := &Result{N: n, B: bw}
+	if n == 0 {
+		res.T = matrix.NewTridiagonal(0)
+		return res
+	}
+	if bw <= 1 {
+		res.T = matrix.TridiagonalFromBand(b2)
+		return res
+	}
+	w := newWorkBand(b2)
+
+	var tasks []sched.StaticTask
+	lastUser := map[int]int{} // resource → index of the last task touching it
+	refs := chaseKernels(w, tc, func(t sched.Task) {
+		idx := len(tasks)
+		var after []int
+		seen := map[int]bool{}
+		for _, d := range t.Deps {
+			if prev, ok := lastUser[d.Resource]; ok && !seen[prev] {
+				after = append(after, prev)
+				seen[prev] = true
+			}
+			lastUser[d.Resource] = idx
+		}
+		tasks = append(tasks, sched.StaticTask{Name: t.Name, Run: t.Run, After: after})
+	})
+	if workers < 1 {
+		workers = 1
+	}
+	sched.RunStatic(sched.RoundRobinSchedule(tasks, workers))
+
+	res.T = w.extractTridiagonal()
+	for i := range refs {
+		if refs[i].V != nil {
+			res.Refs = append(res.Refs, refs[i])
+		}
+	}
+	return res
+}
+
+// chaseKernels generates the kernel tasks of the chase in sequential order,
+// handing each to submit; it returns the reflector lattice (slots may be
+// empty). The caller owns synchronization: every task's Deps describe its
+// footprint via conservative row-block resources.
+func chaseKernels(w *workBand, tc *trace.Collector, submit func(sched.Task)) []Reflector {
+	n, bw := w.n, w.bw
+	// Pre-plan the reflector lattice so recording is race-free under the
+	// scheduler: slot (s, ℓ) is known in advance.
+	maxLevels := (n + bw - 1) / bw
+	slot := func(sweep, level int) int { return sweep*maxLevels + level }
+	refs := make([]Reflector, n*maxLevels)
+
+	for sw := 0; sw <= n-3; sw++ {
+		sw := sw
+		len0 := min(bw, n-1-sw)
+		if len0 < 2 {
+			continue
+		}
+		// xHBCEU: annihilate column sw below the subdiagonal, update the
+		// leading triangle two-sidedly.
+		r0 := sw + 1
+		submit(sched.Task{
+			Name:     kname("HBCEU", sw, 0),
+			Priority: 10,
+			Deps:     blockDeps(w, r0, r0+len0-1, r0, r0+len0-1, sw),
+			Run: func(int) {
+				v, tau := w.larfgColumn(sw, r0, len0, tc)
+				refs[slot(sw, 0)] = Reflector{Sweep: sw, Level: 0, Row: r0, V: v, Tau: tau}
+				w.symTwoSided(r0, len0, v, tau, tc)
+			},
+		})
+		// Chase down the band.
+		for lvl := 1; ; lvl++ {
+			prevStart := sw + (lvl-1)*bw + 1
+			prevLen := min(bw, n-1-sw-(lvl-1)*bw)
+			nextStart := prevStart + prevLen // == sw + lvl*bw + 1 except at the end
+			if prevLen < bw || nextStart > n-1 {
+				break // previous block was the last one
+			}
+			nextLen := min(bw, n-nextStart)
+			lvl := lvl
+			submit(sched.Task{
+				Name:     kname("HBREL+HBLRU", sw, lvl),
+				Priority: 10,
+				Deps:     blockDeps(w, nextStart, nextStart+nextLen-1, prevStart, nextStart+nextLen-1, -1),
+				Run: func(int) {
+					prev := &refs[slot(sw, lvl-1)]
+					// xHBREL: right update of the off-diagonal block by the
+					// previous reflector (creates the bulge)…
+					w.rightUpdate(nextStart, nextLen, prevStart, prevLen, prev.V, prev.Tau, tc)
+					// …then annihilate only the bulge's first column and
+					// apply the new reflector from the left to the rest of
+					// the block while it is hot in cache.
+					var v []float64
+					var tau float64
+					if nextLen >= 2 {
+						v, tau = w.larfgColumn(prevStart, nextStart, nextLen, tc)
+					} else {
+						v, tau = []float64{}, 0
+					}
+					refs[slot(sw, lvl)] = Reflector{Sweep: sw, Level: lvl, Row: nextStart, V: v, Tau: tau}
+					if tau != 0 {
+						w.leftUpdate(nextStart, nextLen, prevStart+1, prevLen-1, v, tau, tc)
+						// xHBLRU: two-sided update of the next symmetric
+						// triangle.
+						w.symTwoSided(nextStart, nextLen, v, tau, tc)
+					}
+				},
+			})
+			if min(bw, n-1-sw-lvl*bw) < 1 {
+				break
+			}
+		}
+	}
+	return refs
+}
+
+// kname builds a task name without fmt to keep submission cheap.
+func kname(kind string, s, l int) string {
+	return kind + "#" + itoa(s) + "." + itoa(l)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	p := len(buf)
+	for v > 0 {
+		p--
+		buf[p] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[p:])
+}
+
+// blockDeps declares conservative resources for a kernel touching rows
+// [r0, r1] and columns [c0, c1] of the band: one resource per bw-aligned
+// row block spanned, which serializes exactly the kernels whose footprints
+// can overlap. col0 ≥ 0 additionally claims that column's block (for the
+// sweep-starting kernel that reads column sw).
+func blockDeps(w *workBand, r0, r1, c0, c1, col0 int) []sched.Dep {
+	lo := min(r0, c0) / w.bw
+	hi := max(r1, c1) / w.bw
+	if col0 >= 0 && col0/w.bw < lo {
+		lo = col0 / w.bw
+	}
+	deps := make([]sched.Dep, 0, hi-lo+1)
+	for g := lo; g <= hi; g++ {
+		deps = append(deps, sched.RW(g))
+	}
+	return deps
+}

@@ -1,0 +1,199 @@
+package bulge
+
+import (
+	"repro/internal/householder"
+	"repro/internal/matrix"
+	"repro/internal/trace"
+)
+
+// workBand is the extended-band working storage for the chase: the original
+// band plus room for the transient bulges, which reach 2b−1 subdiagonals.
+// Lower band layout: element (i, j), j ≤ i ≤ j+kd, lives at
+// data[(i−j) + j·lda].
+type workBand struct {
+	n   int
+	bw  int // original bandwidth
+	kd  int // working bandwidth (≤ 2bw−1)
+	lda int
+	data []float64
+}
+
+func newWorkBand(b *matrix.SymBand) *workBand {
+	kd := min(2*b.KD-1, b.N-1)
+	if kd < b.KD {
+		kd = b.KD
+	}
+	w := &workBand{n: b.N, bw: b.KD, kd: kd, lda: kd + 1}
+	w.data = make([]float64, w.lda*b.N)
+	for j := 0; j < b.N; j++ {
+		for i := j; i <= min(b.N-1, j+b.KD); i++ {
+			w.data[(i-j)+j*w.lda] = b.Data[(i-j)+j*b.LDA]
+		}
+	}
+	return w
+}
+
+func (w *workBand) at(i, j int) float64 {
+	if i < j {
+		i, j = j, i
+	}
+	if i-j > w.kd {
+		return 0
+	}
+	return w.data[(i-j)+j*w.lda]
+}
+
+func (w *workBand) set(i, j int, v float64) {
+	if i < j {
+		i, j = j, i
+	}
+	w.data[(i-j)+j*w.lda] = v
+}
+
+// col returns the contiguous storage of column j for rows [r0, r0+len).
+// The requested rows must lie inside the extended band — a violation would
+// silently alias the next column's storage, so it is checked.
+func (w *workBand) col(j, r0, length int) []float64 {
+	if r0 < j || r0+length-1-j > w.kd {
+		panic("bulge: access outside the extended band (delayed-annihilation invariant broken)")
+	}
+	off := (r0 - j) + j*w.lda
+	return w.data[off : off+length]
+}
+
+// larfgColumn generates the reflector annihilating all but the first entry
+// of B[r0 : r0+length, c], writes the annihilated column back (beta then
+// zeros), and returns the essential part and tau.
+func (w *workBand) larfgColumn(c, r0, length int, tc *trace.Collector) ([]float64, float64) {
+	x := w.col(c, r0, length)
+	beta, tau := householder.Larfg(length, x[0], x[1:], 1)
+	v := append([]float64(nil), x[1:]...)
+	x[0] = beta
+	for i := 1; i < length; i++ {
+		x[i] = 0
+	}
+	tc.AddFlops(trace.KOther, 3*int64(length))
+	return v, tau
+}
+
+// symTwoSided applies H = I − τ·u·uᵀ (u = [1; v]) two-sidedly to the
+// symmetric block starting at index r0 with the given length:
+// S := H·S·H via the standard rank-2 form S −= u·wᵀ + w·uᵀ,
+// w = τ·S·u − (τ²/2)(uᵀSu)·u.
+func (w *workBand) symTwoSided(r0, length int, v []float64, tau float64, tc *trace.Collector) {
+	if tau == 0 || length == 0 {
+		return
+	}
+	// p = τ·S·u using the lower-stored symmetric block.
+	p := make([]float64, length)
+	for j := 0; j < length; j++ {
+		uj := 1.0
+		if j > 0 {
+			uj = v[j-1]
+		}
+		cj := w.col(r0+j, r0+j, length-j)
+		// Diagonal contribution.
+		p[j] += cj[0] * uj
+		for i := j + 1; i < length; i++ {
+			s := cj[i-j]
+			ui := v[i-1]
+			p[i] += s * uj
+			p[j] += s * ui
+		}
+	}
+	for i := range p {
+		p[i] *= tau
+	}
+	// w = p − (τ/2)(uᵀp)·u.
+	dot := p[0]
+	for i := 1; i < length; i++ {
+		dot += v[i-1] * p[i]
+	}
+	alpha := -0.5 * tau * dot
+	p[0] += alpha
+	for i := 1; i < length; i++ {
+		p[i] += alpha * v[i-1]
+	}
+	// S −= u·pᵀ + p·uᵀ (lower part only).
+	for j := 0; j < length; j++ {
+		uj := 1.0
+		if j > 0 {
+			uj = v[j-1]
+		}
+		cj := w.col(r0+j, r0+j, length-j)
+		cj[0] -= 2 * uj * p[j]
+		for i := j + 1; i < length; i++ {
+			ui := v[i-1]
+			cj[i-j] -= ui*p[j] + uj*p[i]
+		}
+	}
+	tc.AddFlops(trace.KSymv, 4*int64(length)*int64(length))
+}
+
+// rightUpdate applies H from the right to the block
+// G = B[r0 : r0+rlen, c0 : c0+clen]:  G := G·(I − τ·u·uᵀ), u = [1; v] over
+// the columns. This is the bulge-creating update of xHBREL.
+func (w *workBand) rightUpdate(r0, rlen, c0, clen int, v []float64, tau float64, tc *trace.Collector) {
+	if tau == 0 || rlen == 0 || clen == 0 {
+		return
+	}
+	// t = G·u.
+	t := make([]float64, rlen)
+	for j := 0; j < clen; j++ {
+		uj := 1.0
+		if j > 0 {
+			uj = v[j-1]
+		}
+		cj := w.col(c0+j, r0, rlen)
+		for i := 0; i < rlen; i++ {
+			t[i] += cj[i] * uj
+		}
+	}
+	// G −= τ·t·uᵀ.
+	for j := 0; j < clen; j++ {
+		uj := tau
+		if j > 0 {
+			uj = tau * v[j-1]
+		}
+		cj := w.col(c0+j, r0, rlen)
+		for i := 0; i < rlen; i++ {
+			cj[i] -= t[i] * uj
+		}
+	}
+	tc.AddFlops(trace.KGemv, 4*int64(rlen)*int64(clen))
+}
+
+// leftUpdate applies H from the left to the block
+// G = B[r0 : r0+rlen, c0 : c0+clen]:  G := (I − τ·u·uᵀ)·G, u over the rows.
+// This is the delayed-annihilation update of xHBREL after the bulge's first
+// column has been eliminated.
+func (w *workBand) leftUpdate(r0, rlen, c0, clen int, v []float64, tau float64, tc *trace.Collector) {
+	if tau == 0 || rlen == 0 || clen == 0 {
+		return
+	}
+	for j := 0; j < clen; j++ {
+		cj := w.col(c0+j, r0, rlen)
+		dot := cj[0]
+		for i := 1; i < rlen; i++ {
+			dot += v[i-1] * cj[i]
+		}
+		dot *= tau
+		cj[0] -= dot
+		for i := 1; i < rlen; i++ {
+			cj[i] -= dot * v[i-1]
+		}
+	}
+	tc.AddFlops(trace.KGemv, 4*int64(rlen)*int64(clen))
+}
+
+// extractTridiagonal reads T off the fully chased band.
+func (w *workBand) extractTridiagonal() *matrix.Tridiagonal {
+	t := matrix.NewTridiagonal(w.n)
+	for i := 0; i < w.n; i++ {
+		t.D[i] = w.at(i, i)
+		if i+1 < w.n {
+			t.E[i] = w.at(i+1, i)
+		}
+	}
+	return t
+}

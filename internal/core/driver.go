@@ -1,0 +1,266 @@
+// Package core assembles the full symmetric eigensolvers from the
+// substrates: the paper's two-stage algorithm (tile reduction to band,
+// bulge chasing to tridiagonal, tridiagonal eigensolver, diamond-blocked
+// Q₂ and tile Q₁ back-transformations) and the classic one-stage LAPACK
+// baseline it is benchmarked against. Both drivers share the tridiagonal
+// solvers and report per-phase timings through a trace.Collector, which is
+// how the paper's Figure 1 breakdowns and Figure 4 speedups are
+// regenerated.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/backtransform"
+	"repro/internal/band"
+	"repro/internal/blas"
+	"repro/internal/bulge"
+	"repro/internal/matrix"
+	"repro/internal/onestage"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/tridiag"
+)
+
+// Method selects the tridiagonal eigensolver, mirroring the three LAPACK
+// drivers of the paper's Table 1.
+type Method int
+
+const (
+	// MethodDC is divide & conquer (DSYEVD's approach).
+	MethodDC Method = iota
+	// MethodBI is bisection + inverse iteration, the subset-capable O(n²)
+	// solver standing in for MRRR/DSYEVR (see DESIGN.md).
+	MethodBI
+	// MethodQR is implicit QL/QR iteration with accumulated rotations
+	// (DSYEV's approach; ≈6n³ when all vectors are wanted).
+	MethodQR
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodDC:
+		return "D&C"
+	case MethodBI:
+		return "BI"
+	case MethodQR:
+		return "QR"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Options configures the drivers. The zero value computes all eigenvalues
+// and eigenvectors with D&C, default block sizes, and sequential execution.
+type Options struct {
+	// NB is the tile size / bandwidth for the two-stage driver and the
+	// panel width for the one-stage driver (≤ 0 → defaults).
+	NB int
+	// Workers is the task-scheduler width; ≤ 1 runs sequentially.
+	Workers int
+	// Stage2Workers restricts the bulge-chasing tasks to this many workers
+	// (the paper's core-restriction: the stage is memory-bound, and using
+	// fewer cores improves locality). 0 means no restriction.
+	Stage2Workers int
+	// Stage2Static runs the bulge chasing under the static progress-table
+	// runtime instead of the dynamic scheduler (the paper's hybrid
+	// dynamic/static design); the results are bitwise identical.
+	Stage2Static bool
+	// Method selects the tridiagonal eigensolver.
+	Method Method
+	// Vectors requests eigenvectors.
+	Vectors bool
+	// IL, IU select the 1-based ascending index range of eigenpairs to
+	// compute (inclusive); both zero means the full spectrum. Only MethodBI
+	// computes strictly the subset; the other methods compute everything
+	// and return the slice (matching LAPACK semantics, and the complexity
+	// argument of the paper's fraction f).
+	IL, IU int
+	// Group is the diamond-group width for the Q₂ back-transformation
+	// (≤ 0 → bandwidth).
+	Group int
+	// ColBlock is the eigenvector column-block width for per-core locality
+	// (≤ 0 → default).
+	ColBlock int
+	// Collector receives flop counts and per-phase timings; may be nil.
+	Collector *trace.Collector
+}
+
+// Result of an eigensolve.
+type Result struct {
+	// Values are the computed eigenvalues in ascending order (the requested
+	// range).
+	Values []float64
+	// Vectors holds the corresponding eigenvectors in its columns when
+	// requested, else nil.
+	Vectors *matrix.Dense
+}
+
+func (o *Options) indexRange(n int) (il, iu int, err error) {
+	il, iu = o.IL, o.IU
+	if il == 0 && iu == 0 {
+		return 1, n, nil
+	}
+	if il < 1 || iu > n || il > iu {
+		return 0, 0, fmt.Errorf("core: invalid index range [%d, %d] for n=%d", il, iu, n)
+	}
+	return il, iu, nil
+}
+
+// SyevTwoStage computes eigenpairs of the dense symmetric matrix a (only
+// symmetry is assumed; both triangles are read) with the paper's two-stage
+// algorithm. a is not modified.
+func SyevTwoStage(a *matrix.Dense, o Options) (*Result, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("core: matrix must be square, got %d×%d", n, a.Cols)
+	}
+	if n == 0 {
+		return &Result{}, nil
+	}
+	il, iu, err := o.indexRange(n)
+	if err != nil {
+		return nil, err
+	}
+	tc := o.Collector
+
+	var s *sched.Scheduler
+	if o.Workers > 1 {
+		s = sched.New(o.Workers)
+		defer s.Shutdown()
+	}
+	var stage2Aff uint64
+	if s != nil && o.Stage2Workers > 0 && o.Stage2Workers < o.Workers {
+		stage2Aff = (uint64(1) << uint(o.Stage2Workers)) - 1
+	}
+
+	// Stage 1: dense → band.
+	work := a.Clone()
+	var f1 *band.Factor
+	tc.Phase(trace.PhaseStage1, func() {
+		f1 = band.Reduce(work, o.NB, s, tc)
+	})
+
+	// Stage 2: band → tridiagonal.
+	var chase *bulge.Result
+	tc.Phase(trace.PhaseStage2, func() {
+		if o.Stage2Static {
+			wkr := o.Stage2Workers
+			if wkr <= 0 {
+				wkr = max(1, o.Workers)
+			}
+			chase = bulge.ChaseStatic(f1.Band, wkr, tc)
+		} else {
+			chase = bulge.Chase(f1.Band, s, stage2Aff, tc)
+		}
+	})
+
+	// Phase 2 of the eigensolver: eigenpairs of T.
+	vals, evecs, err := solveTridiagonal(chase.T, o.Method, o.Vectors, il, iu, tc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Values: vals}
+	if !o.Vectors {
+		return res, nil
+	}
+
+	// Back-transformation: Z = Q₁·(Q₂·E).
+	tc.Phase(trace.PhaseUpdateQ2, func() {
+		plan := backtransform.NewPlan(chase, o.Group)
+		plan.Apply(evecs, s, o.ColBlock, tc)
+	})
+	tc.Phase(trace.PhaseUpdateQ1, func() {
+		f1.ApplyQ1(blas.NoTrans, evecs, s, o.ColBlock, tc)
+	})
+	res.Vectors = evecs
+	return res, nil
+}
+
+// SyevOneStage computes the same eigenpairs with the classic one-stage
+// algorithm (blocked SYTRD + back-transformation), the MKL-equivalent
+// baseline of the paper's Figure 4. a is not modified.
+func SyevOneStage(a *matrix.Dense, o Options) (*Result, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("core: matrix must be square, got %d×%d", n, a.Cols)
+	}
+	if n == 0 {
+		return &Result{}, nil
+	}
+	il, iu, err := o.indexRange(n)
+	if err != nil {
+		return nil, err
+	}
+	tc := o.Collector
+
+	work := a.Clone()
+	var d, e, tau []float64
+	tc.Phase(trace.PhaseReduction, func() {
+		d, e, tau = onestage.Sytrd(work, o.NB, tc)
+	})
+	t := &matrix.Tridiagonal{D: d, E: e}
+	vals, evecs, err := solveTridiagonal(t, o.Method, o.Vectors, il, iu, tc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Values: vals}
+	if !o.Vectors {
+		return res, nil
+	}
+	tc.Phase(trace.PhaseBacktrans, func() {
+		onestage.ApplyQ(work, tau, blas.NoTrans, evecs, o.NB, tc)
+	})
+	res.Vectors = evecs
+	return res, nil
+}
+
+// solveTridiagonal dispatches to the selected tridiagonal eigensolver and
+// returns the [il, iu] slice of the spectrum (and vectors when requested).
+func solveTridiagonal(t *matrix.Tridiagonal, m Method, vectors bool, il, iu int, tc *trace.Collector) (vals []float64, evecs *matrix.Dense, err error) {
+	n := t.N()
+	k := iu - il + 1
+	tc.Phase(trace.PhaseEigT, func() {
+		if !vectors {
+			switch m {
+			case MethodBI:
+				d := append([]float64(nil), t.D...)
+				e := append([]float64(nil), t.E...)
+				vals = tridiag.Stebz(d, e, il, iu)
+			default:
+				d := append([]float64(nil), t.D...)
+				e := append([]float64(nil), t.E...)
+				if err = tridiag.Sterf(d, e); err == nil {
+					vals = d[il-1 : iu]
+				}
+			}
+			return
+		}
+		switch m {
+		case MethodDC:
+			var q *matrix.Dense
+			vals, q, err = tridiag.Stedc(t.D, t.E)
+			if err != nil {
+				return
+			}
+			vals = vals[il-1 : iu]
+			evecs = q.View(0, il-1, n, k).Clone()
+		case MethodBI:
+			d := append([]float64(nil), t.D...)
+			e := append([]float64(nil), t.E...)
+			vals = tridiag.Stebz(d, e, il, iu)
+			evecs, err = tridiag.Stein(t.D, t.E, vals)
+		case MethodQR:
+			d := append([]float64(nil), t.D...)
+			e := append([]float64(nil), t.E...)
+			q := matrix.Eye(n)
+			if err = tridiag.Steqr(d, e, q); err != nil {
+				return
+			}
+			vals = d[il-1 : iu]
+			evecs = q.View(0, il-1, n, k).Clone()
+		default:
+			err = fmt.Errorf("core: unknown method %v", m)
+		}
+	})
+	return vals, evecs, err
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/testmat"
+	"repro/internal/trace"
+)
+
+// residualBudget is the allowed normalized residual (units of n·ε·‖A‖).
+const residualBudget = 200
+
+func checkEigen(t *testing.T, label string, a *matrix.Dense, res *Result, wantVals []float64) {
+	t.Helper()
+	if wantVals != nil {
+		if len(res.Values) != len(wantVals) {
+			t.Fatalf("%s: got %d values, want %d", label, len(res.Values), len(wantVals))
+		}
+		if e := testmat.SpectrumError(res.Values, wantVals); e > residualBudget {
+			t.Fatalf("%s: spectrum error %.1f nε", label, e)
+		}
+	}
+	for i := 1; i < len(res.Values); i++ {
+		if res.Values[i] < res.Values[i-1] {
+			t.Fatalf("%s: eigenvalues not ascending", label)
+		}
+	}
+	if res.Vectors != nil {
+		if r := testmat.Residual(a, res.Values, res.Vectors); r > residualBudget {
+			t.Fatalf("%s: residual %.1f nε", label, r)
+		}
+		if o := testmat.OrthoError(res.Vectors); o > residualBudget {
+			t.Fatalf("%s: orthogonality %.1f nε", label, o)
+		}
+	}
+}
+
+func TestTwoStageAllMethodsPlantedSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := testmat.UniformSpectrum(60, -3, 7)
+	a := testmat.WithSpectrum(rng, spec)
+	want := append([]float64(nil), spec...)
+	sort.Float64s(want)
+	for _, m := range []Method{MethodDC, MethodBI, MethodQR} {
+		res, err := SyevTwoStage(a, Options{Method: m, Vectors: true, NB: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		checkEigen(t, "two-stage "+m.String(), a, res, want)
+	}
+}
+
+func TestOneStageAllMethodsPlantedSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := testmat.GeometricSpectrum(50, 0.01, 100)
+	a := testmat.WithSpectrum(rng, spec)
+	want := append([]float64(nil), spec...)
+	sort.Float64s(want)
+	for _, m := range []Method{MethodDC, MethodBI, MethodQR} {
+		res, err := SyevOneStage(a, Options{Method: m, Vectors: true, NB: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		checkEigen(t, "one-stage "+m.String(), a, res, want)
+	}
+}
+
+func TestTwoStageMatchesOneStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := testmat.RandomSym(rng, 70)
+	r1, err := SyevOneStage(a, Options{Method: MethodDC, NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SyevTwoStage(a, Options{Method: MethodDC, NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := testmat.SpectrumError(r2.Values, r1.Values); e > residualBudget {
+		t.Fatalf("two-stage vs one-stage spectrum error %.1f nε", e)
+	}
+}
+
+func TestTwoStageParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := testmat.RandomSym(rng, 48)
+	seq, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8, Workers: 4, Stage2Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reductions are bitwise deterministic under the scheduler; the
+	// tridiagonal solve is sequential either way, so values must agree to
+	// the last bit and vectors too.
+	for i := range seq.Values {
+		if seq.Values[i] != par.Values[i] {
+			t.Fatalf("parallel eigenvalue %d differs", i)
+		}
+	}
+	if !par.Vectors.Equalish(seq.Vectors, 0) {
+		t.Fatal("parallel vectors differ from sequential")
+	}
+}
+
+func TestSubsetBI(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 60
+	a := testmat.RandomSym(rng, n)
+	full, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20% of the spectrum — the paper's Figure 4d scenario.
+	il, iu := 1, n/5
+	sub, err := SyevTwoStage(a, Options{Method: MethodBI, Vectors: true, NB: 8, IL: il, IU: iu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Values) != iu {
+		t.Fatalf("subset returned %d values, want %d", len(sub.Values), iu)
+	}
+	if e := testmat.SpectrumError(sub.Values, full.Values[:iu]); e > residualBudget {
+		t.Fatalf("subset spectrum error %.1f nε", e)
+	}
+	checkEigen(t, "subset BI", a, sub, nil)
+	if sub.Vectors.Cols != iu {
+		t.Fatalf("subset vectors have %d columns", sub.Vectors.Cols)
+	}
+}
+
+func TestSubsetSliceMethods(t *testing.T) {
+	// DC and QR compute everything and return the requested slice.
+	rng := rand.New(rand.NewSource(6))
+	n := 40
+	a := testmat.RandomSym(rng, n)
+	full, err := SyevOneStage(a, Options{Method: MethodDC, Vectors: true, NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := SyevOneStage(a, Options{Method: MethodDC, Vectors: true, NB: 8, IL: 11, IU: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := testmat.SpectrumError(sub.Values, full.Values[10:20]); e > 1 {
+		t.Fatalf("slice mismatch: %.2f", e)
+	}
+	checkEigen(t, "subset slice", a, sub, nil)
+}
+
+func TestValuesOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := testmat.RandomSym(rng, 50)
+	for _, m := range []Method{MethodDC, MethodBI, MethodQR} {
+		r1, err := SyevTwoStage(a, Options{Method: m, NB: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Vectors != nil {
+			t.Fatalf("%v: vectors returned without being requested", m)
+		}
+		r2, err := SyevTwoStage(a, Options{Method: m, Vectors: true, NB: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := testmat.SpectrumError(r1.Values, r2.Values); e > residualBudget {
+			t.Fatalf("%v: values-only disagrees with full solve: %.1f nε", m, e)
+		}
+	}
+}
+
+func TestClusteredSpectrumOrthogonality(t *testing.T) {
+	// Tight clusters stress D&C deflation and BI reorthogonalization
+	// through the whole two-stage pipeline.
+	rng := rand.New(rand.NewSource(8))
+	spec := testmat.ClusteredSpectrum(48, 4, 1e-10)
+	a := testmat.WithSpectrum(rng, spec)
+	for _, m := range []Method{MethodDC, MethodBI} {
+		res, err := SyevTwoStage(a, Options{Method: m, Vectors: true, NB: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		checkEigen(t, "clustered "+m.String(), a, res, nil)
+	}
+}
+
+func TestPhaseTimings(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := testmat.RandomSym(rng, 64)
+	tc := trace.New()
+	if _, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8, Collector: tc}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range []string{trace.PhaseStage1, trace.PhaseStage2, trace.PhaseEigT, trace.PhaseUpdateQ2, trace.PhaseUpdateQ1} {
+		if tc.PhaseTime(ph) <= 0 {
+			t.Fatalf("phase %s not timed", ph)
+		}
+	}
+	if tc.TotalFlops() == 0 {
+		t.Fatal("no flops recorded")
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		a := matrix.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, float64(i+1))
+		}
+		for _, m := range []Method{MethodDC, MethodBI, MethodQR} {
+			res, err := SyevTwoStage(a, Options{Method: m, Vectors: n > 0, NB: 4})
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, m, err)
+			}
+			if len(res.Values) != n {
+				t.Fatalf("n=%d %v: got %d values", n, m, len(res.Values))
+			}
+			for i := 0; i < n; i++ {
+				if math.Abs(res.Values[i]-float64(i+1)) > 1e-12 {
+					t.Fatalf("n=%d %v: diagonal eigenvalue wrong", n, m)
+				}
+			}
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	a := matrix.NewDense(4, 3)
+	if _, err := SyevTwoStage(a, Options{}); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+	b := matrix.NewDense(4, 4)
+	if _, err := SyevTwoStage(b, Options{IL: 3, IU: 2}); err == nil {
+		t.Fatal("inverted index range accepted")
+	}
+	if _, err := SyevOneStage(b, Options{IL: 0, IU: 9}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestNBRobustness(t *testing.T) {
+	// The full pipeline must be correct for awkward nb/n combinations.
+	rng := rand.New(rand.NewSource(10))
+	for _, tc := range []struct{ n, nb int }{{30, 7}, {33, 32}, {33, 33}, {33, 40}, {16, 1}, {17, 2}} {
+		a := testmat.RandomSym(rng, tc.n)
+		res, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: tc.nb})
+		if err != nil {
+			t.Fatalf("n=%d nb=%d: %v", tc.n, tc.nb, err)
+		}
+		checkEigen(t, "nb robustness", a, res, nil)
+	}
+}
+
+func TestStage2StaticMatchesDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := testmat.RandomSym(rng, 44)
+	dyn, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8, Stage2Static: true, Stage2Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dyn.Values {
+		if dyn.Values[i] != st.Values[i] {
+			t.Fatalf("static stage-2 value %d differs", i)
+		}
+	}
+	if !st.Vectors.Equalish(dyn.Vectors, 0) {
+		t.Fatal("static stage-2 vectors differ")
+	}
+}
+
+func TestScalingRobustness(t *testing.T) {
+	// The pipeline must be scale-invariant: eigenvalues of s·A are s·λ(A),
+	// even for extreme s (exercises the Larfg rescaling guards and the
+	// deflation thresholds).
+	rng := rand.New(rand.NewSource(12))
+	base := testmat.RandomSym(rng, 32)
+	ref, err := SyevTwoStage(base, Options{Method: MethodDC, Vectors: true, NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []float64{1e-100, 1e-8, 1e8, 1e100} {
+		a := base.Clone()
+		for i := range a.Data {
+			a.Data[i] *= s
+		}
+		res, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8})
+		if err != nil {
+			t.Fatalf("scale %g: %v", s, err)
+		}
+		for i := range res.Values {
+			want := ref.Values[i] * s
+			if math.Abs(res.Values[i]-want) > 1e-10*math.Abs(want)+1e-300 {
+				t.Fatalf("scale %g: eigenvalue %d = %g, want %g", s, i, res.Values[i], want)
+			}
+		}
+		if r := testmat.Residual(a, res.Values, res.Vectors); r > residualBudget {
+			t.Fatalf("scale %g: residual %.1f nε", s, r)
+		}
+	}
+}
+
+func TestPipelinePropertyQuick(t *testing.T) {
+	// Random (n, nb, method) triples through the full two-stage pipeline:
+	// residual and orthogonality always within budget.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		nb := 1 + rng.Intn(n)
+		m := []Method{MethodDC, MethodBI, MethodQR}[rng.Intn(3)]
+		a := testmat.RandomSym(rng, n)
+		res, err := SyevTwoStage(a, Options{Method: m, Vectors: true, NB: nb})
+		if err != nil {
+			t.Logf("seed %d (n=%d nb=%d %v): %v", seed, n, nb, m, err)
+			return false
+		}
+		return testmat.Residual(a, res.Values, res.Vectors) <= residualBudget &&
+			testmat.OrthoError(res.Vectors) <= residualBudget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankDeficientAndSpecialMatrices(t *testing.T) {
+	// Rank-1, identity-like and zero matrices through both drivers.
+	n := 24
+	rank1 := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rank1.Set(i, j, float64(i+1)*float64(j+1))
+		}
+	}
+	// Rank-1 PSD: one eigenvalue Σ(i+1)², the rest zero.
+	var want float64
+	for i := 1; i <= n; i++ {
+		want += float64(i) * float64(i)
+	}
+	for _, alg := range []bool{true, false} {
+		var res *Result
+		var err error
+		if alg {
+			res, err = SyevTwoStage(rank1, Options{Method: MethodDC, Vectors: true, NB: 6})
+		} else {
+			res, err = SyevOneStage(rank1, Options{Method: MethodDC, Vectors: true, NB: 6})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Values[n-1]-want) > 1e-9*want {
+			t.Fatalf("rank-1 top eigenvalue %g, want %g", res.Values[n-1], want)
+		}
+		for i := 0; i < n-1; i++ {
+			if math.Abs(res.Values[i]) > 1e-9*want {
+				t.Fatalf("rank-1 null eigenvalue %d = %g", i, res.Values[i])
+			}
+		}
+		if r := testmat.Residual(rank1, res.Values, res.Vectors); r > residualBudget {
+			t.Fatalf("rank-1 residual %.1f nε", r)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package onestage
+
+import (
+	"repro/internal/blas"
+	"repro/internal/householder"
+	"repro/internal/matrix"
+	"repro/internal/trace"
+)
+
+// Gebrd reduces a square matrix to upper bidiagonal form A = Q·B·Pᵀ by
+// alternating column and row Householder reflectors (LAPACK's GEBD2
+// algorithm). It exists here because the paper's Table 2 contrasts the
+// kernel mix of the three two-sided reductions — TRD (4×SYMV), BRD
+// (4×GEMV), HRD (10×GEMV) — and the benchmark harness measures those rates
+// from the real algorithms.
+//
+// On return d (length n) holds the diagonal of B, e (length n−1) its
+// superdiagonal; the reflectors are packed in a (column reflectors below
+// the diagonal, row reflectors right of the superdiagonal) with scales in
+// tauQ and tauP, exactly LAPACK's convention. tc may be nil.
+func Gebrd(a *matrix.Dense, tc *trace.Collector) (d, e, tauQ, tauP []float64) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("onestage: Gebrd requires a square matrix (reproduction scope)")
+	}
+	d = make([]float64, n)
+	e = make([]float64, max(0, n-1))
+	tauQ = make([]float64, n)
+	tauP = make([]float64, max(0, n-1))
+	if n == 0 {
+		return
+	}
+	lda := a.Stride
+	work := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Column reflector annihilating A[i+1:, i].
+		beta, tq := householder.Larfg(n-i, a.Data[i+i*lda], a.Data[i+1+i*lda:], 1)
+		d[i] = beta
+		tauQ[i] = tq
+		if i+1 < n {
+			// Apply Hq from the left to A[i:, i+1:].
+			aii := a.Data[i+i*lda]
+			a.Data[i+i*lda] = 1
+			householder.Larf(blas.Left, n-i, n-i-1, a.Data[i+i*lda:], 1, tq, a.Data[i+(i+1)*lda:], lda, work)
+			a.Data[i+i*lda] = aii
+			tc.AddFlops(trace.KGemv, 4*int64(n-i)*int64(n-i-1))
+		}
+		if i < n-1 {
+			// Row reflector annihilating A[i, i+2:]. The tail slice is
+			// empty at i = n−2; avoid forming an out-of-bounds expression.
+			var tail []float64
+			if i+2 < n {
+				tail = a.Data[i+(i+2)*lda:]
+			}
+			beta, tp := householder.Larfg(n-i-1, a.Data[i+(i+1)*lda], tail, lda)
+			e[i] = beta
+			tauP[i] = tp
+			if i+1 < n && tp != 0 {
+				// Apply Hp from the right to A[i+1:, i+1:].
+				aij := a.Data[i+(i+1)*lda]
+				a.Data[i+(i+1)*lda] = 1
+				householder.Larf(blas.Right, n-i-1, n-i-1, a.Data[i+(i+1)*lda:], lda, tp, a.Data[i+1+(i+1)*lda:], lda, work)
+				a.Data[i+(i+1)*lda] = aij
+				tc.AddFlops(trace.KGemv, 4*int64(n-i-1)*int64(n-i-1))
+			}
+		}
+	}
+	return
+}
+
+// Gehrd reduces a square matrix to upper Hessenberg form A = Q·H·Qᵀ
+// (LAPACK's GEHD2 algorithm): reflector i annihilates A[i+2:, i] and is
+// applied from both sides, costing the 10×GEMV-per-column mix of the
+// paper's Table 2. The reflectors are packed below the first subdiagonal
+// with scales in tau. tc may be nil.
+func Gehrd(a *matrix.Dense, tc *trace.Collector) (tau []float64) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("onestage: Gehrd requires a square matrix")
+	}
+	tau = make([]float64, max(0, n-1))
+	lda := a.Stride
+	work := make([]float64, n)
+	for i := 0; i < n-2; i++ {
+		beta, t := householder.Larfg(n-i-1, a.Data[i+1+i*lda], a.Data[i+2+i*lda:], 1)
+		tau[i] = t
+		a.Data[i+1+i*lda] = 1
+		v := a.Data[i+1+i*lda:]
+		// Right: A[0:n, i+1:] := A·H.
+		householder.Larf(blas.Right, n, n-i-1, v, 1, t, a.Data[(i+1)*lda:], lda, work)
+		// Left: A[i+1:, i+1:] := H·A.
+		householder.Larf(blas.Left, n-i-1, n-i-1, v, 1, t, a.Data[i+1+(i+1)*lda:], lda, work)
+		// The subdiagonal entry of the Hessenberg form is the Larfg beta.
+		a.Data[i+1+i*lda] = beta
+		tc.AddFlops(trace.KGemv, 4*int64(n)*int64(n-i-1)+4*int64(n-i-1)*int64(n-i-1))
+	}
+	return
+}

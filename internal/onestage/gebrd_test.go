@@ -1,0 +1,159 @@
+package onestage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/householder"
+	"repro/internal/matrix"
+)
+
+func randGeneral(rng *rand.Rand, n int) *matrix.Dense {
+	a := matrix.NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+// buildQFromColumns accumulates Q = H_0·H_1⋯ from column reflectors packed
+// below diagonal offset off (off = 0 for Gebrd's Q, 1 for Gehrd's Q).
+func buildQFromColumns(a *matrix.Dense, tau []float64, off int) *matrix.Dense {
+	n := a.Rows
+	q := matrix.Eye(n)
+	work := make([]float64, n)
+	for i := len(tau) - 1; i >= 0; i-- {
+		if i+off >= n || tau[i] == 0 {
+			continue
+		}
+		v := make([]float64, n)
+		v[i+off] = 1
+		for r := i + off + 1; r < n; r++ {
+			v[r] = a.At(r, i)
+		}
+		// q := H_i·q applied for descending i accumulates H_0·(H_1·(…)).
+		householder.Larf(blas.Left, n, n, v, 1, tau[i], q.Data, q.Stride, work)
+	}
+	return q
+}
+
+// buildPFromRows accumulates P = G_0·G_1⋯ from row reflectors packed right
+// of the superdiagonal (Gebrd's P).
+func buildPFromRows(a *matrix.Dense, tauP []float64) *matrix.Dense {
+	n := a.Rows
+	p := matrix.Eye(n)
+	work := make([]float64, n)
+	for i := len(tauP) - 1; i >= 0; i-- {
+		if tauP[i] == 0 || i+1 >= n {
+			continue
+		}
+		v := make([]float64, n)
+		v[i+1] = 1
+		for c := i + 2; c < n; c++ {
+			v[c] = a.At(i, c)
+		}
+		householder.Larf(blas.Left, n, n, v, 1, tauP[i], p.Data, p.Stride, work)
+	}
+	return p
+}
+
+func TestGebrdReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 8, 20} {
+		orig := randGeneral(rng, n)
+		a := orig.Clone()
+		d, e, tauQ, tauP := Gebrd(a, nil)
+		// B from d, e.
+		b := matrix.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			b.Set(i, i, d[i])
+			if i+1 < n {
+				b.Set(i, i+1, e[i])
+			}
+		}
+		q := buildQFromColumns(a, tauQ, 0)
+		p := buildPFromRows(a, tauP)
+		// Reconstruct Q·B·Pᵀ.
+		tmp := matrix.NewDense(n, n)
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, q.Data, q.Stride, b.Data, b.Stride, 0, tmp.Data, tmp.Stride)
+		rec := matrix.NewDense(n, n)
+		blas.Dgemm(blas.NoTrans, blas.Trans, n, n, n, 1, tmp.Data, tmp.Stride, p.Data, p.Stride, 0, rec.Data, rec.Stride)
+		if !rec.Equalish(orig, 1e-12*float64(n)*(orig.FrobeniusNorm()+1)) {
+			t.Fatalf("n=%d: Q·B·Pᵀ != A", n)
+		}
+	}
+}
+
+func TestGebrdSingularValuesPreserved(t *testing.T) {
+	// ‖A‖_F² = Σσ² = ‖B‖_F².
+	rng := rand.New(rand.NewSource(2))
+	n := 30
+	orig := randGeneral(rng, n)
+	a := orig.Clone()
+	d, e, _, _ := Gebrd(a, nil)
+	var fa, fb float64
+	for _, v := range orig.Data {
+		fa += v * v
+	}
+	for _, v := range d {
+		fb += v * v
+	}
+	for _, v := range e {
+		fb += v * v
+	}
+	if math.Abs(fa-fb) > 1e-10*fa {
+		t.Fatalf("Frobenius changed: %g vs %g", fa, fb)
+	}
+}
+
+func TestGehrdReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 9, 24} {
+		orig := randGeneral(rng, n)
+		a := orig.Clone()
+		tau := Gehrd(a, nil)
+		// H = upper Hessenberg part of the reduced a.
+		h := matrix.NewDense(n, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i <= min(j+1, n-1); i++ {
+				h.Set(i, j, a.At(i, j))
+			}
+		}
+		q := buildQFromColumns(a, tau, 1)
+		// A = Q·H·Qᵀ.
+		tmp := matrix.NewDense(n, n)
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, q.Data, q.Stride, h.Data, h.Stride, 0, tmp.Data, tmp.Stride)
+		rec := matrix.NewDense(n, n)
+		blas.Dgemm(blas.NoTrans, blas.Trans, n, n, n, 1, tmp.Data, tmp.Stride, q.Data, q.Stride, 0, rec.Data, rec.Stride)
+		if !rec.Equalish(orig, 1e-12*float64(n)*(orig.FrobeniusNorm()+1)) {
+			t.Fatalf("n=%d: Q·H·Qᵀ != A", n)
+		}
+		// Hessenberg structure: zero below the first subdiagonal.
+		for j := 0; j < n; j++ {
+			for i := j + 2; i < n; i++ {
+				if h.At(i, j) != 0 {
+					t.Fatalf("n=%d: H not Hessenberg at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGehrdEigenInvariants(t *testing.T) {
+	// Similarity preserves trace.
+	rng := rand.New(rand.NewSource(4))
+	n := 25
+	orig := randGeneral(rng, n)
+	a := orig.Clone()
+	Gehrd(a, nil)
+	var t1, t2 float64
+	for i := 0; i < n; i++ {
+		t1 += orig.At(i, i)
+		t2 += a.At(i, i)
+	}
+	if math.Abs(t1-t2) > 1e-11*float64(n) {
+		t.Fatalf("trace changed: %g vs %g", t1, t2)
+	}
+}

@@ -1,0 +1,203 @@
+package onestage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/trace"
+	"repro/internal/tridiag"
+)
+
+func randSym(rng *rand.Rand, n int) *matrix.Dense {
+	a := matrix.NewDense(n, n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// reconstruct computes Q·T·Qᵀ from the packed Sytrd output and compares it
+// to the original matrix.
+func reconstructError(t *testing.T, orig *matrix.Dense, a *matrix.Dense, d, e, tau []float64, nb int) float64 {
+	t.Helper()
+	n := orig.Rows
+	tm := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		tm.Set(i, i, d[i])
+		if i+1 < n {
+			tm.Set(i+1, i, e[i])
+			tm.Set(i, i+1, e[i])
+		}
+	}
+	// R = Q·T·Qᵀ: apply Qᵀ from the right via transposes — use ApplyQ on
+	// columns: first W = Q·T, then R = (Q·Wᵀ)ᵀ.
+	w := tm.Clone()
+	ApplyQ(a, tau, blas.NoTrans, w, nb, nil)
+	wt := w.Transpose()
+	ApplyQ(a, tau, blas.NoTrans, wt, nb, nil)
+	r := wt.Transpose()
+	diff := 0.0
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if v := math.Abs(r.At(i, j) - orig.At(i, j)); v > diff {
+				diff = v
+			}
+		}
+	}
+	return diff / (orig.FrobeniusNorm() + 1)
+}
+
+func TestSytrdReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, nb int }{{1, 4}, {2, 4}, {3, 2}, {8, 4}, {13, 4}, {32, 8}, {50, 16}, {64, 64}, {40, 1}} {
+		orig := randSym(rng, tc.n)
+		a := orig.Clone()
+		d, e, tau := Sytrd(a, tc.nb, nil)
+		if err := reconstructError(t, orig, a, d, e, tau, tc.nb); err > 1e-13*float64(tc.n) {
+			t.Fatalf("n=%d nb=%d: reconstruction error %g", tc.n, tc.nb, err)
+		}
+	}
+}
+
+func TestSytrdBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 33
+	orig := randSym(rng, n)
+	a1 := orig.Clone()
+	d1, e1, _ := Sytrd(a1, 1, nil)
+	a2 := orig.Clone()
+	d2, e2, _ := Sytrd(a2, 8, nil)
+	for i := 0; i < n; i++ {
+		if math.Abs(d1[i]-d2[i]) > 1e-11 {
+			t.Fatalf("d[%d] differs: %g vs %g", i, d1[i], d2[i])
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		if math.Abs(math.Abs(e1[i])-math.Abs(e2[i])) > 1e-11 {
+			t.Fatalf("|e[%d]| differs: %g vs %g", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestSytrdEigenvaluesPreserved(t *testing.T) {
+	// Eigenvalues of T must equal eigenvalues of A (planted spectrum).
+	rng := rand.New(rand.NewSource(3))
+	n := 48
+	a := randSym(rng, n)
+	orig := a.Clone()
+	// Reference spectrum via Jacobi-free approach: reduce with nb=1 (already
+	// tested against reconstruction) is circular; instead compare Sytrd+
+	// Steqr spectrum against the trace/Frobenius invariants of A.
+	d, e, _ := Sytrd(a, 8, nil)
+	if err := tridiag.Steqr(d, e, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tr, fr float64
+	for i := 0; i < n; i++ {
+		tr += orig.At(i, i)
+		for j := 0; j < n; j++ {
+			fr += orig.At(i, j) * orig.At(i, j)
+		}
+	}
+	var tr2, fr2 float64
+	for _, v := range d {
+		tr2 += v
+		fr2 += v * v
+	}
+	if math.Abs(tr-tr2) > 1e-11*float64(n) {
+		t.Fatalf("trace not preserved: %g vs %g", tr, tr2)
+	}
+	if math.Abs(fr-fr2) > 1e-9*fr {
+		t.Fatalf("Frobenius² not preserved: %g vs %g", fr, fr2)
+	}
+}
+
+func TestBuildQOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{2, 9, 31} {
+		a := randSym(rng, n)
+		_, _, tau := Sytrd(a, 8, nil)
+		q := BuildQ(a, tau, 8, nil)
+		// QᵀQ = I.
+		qtq := matrix.NewDense(n, n)
+		blas.Dgemm(blas.Trans, blas.NoTrans, n, n, n, 1, q.Data, q.Stride, q.Data, q.Stride, 0, qtq.Data, qtq.Stride)
+		if !qtq.Equalish(matrix.Eye(n), 1e-13*float64(n)) {
+			t.Fatalf("n=%d: Q not orthogonal", n)
+		}
+	}
+}
+
+func TestApplyQTransIsInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, m := 21, 7
+	a := randSym(rng, n)
+	_, _, tau := Sytrd(a, 4, nil)
+	c := matrix.NewDense(n, m)
+	for i := range c.Data {
+		c.Data[i] = rng.NormFloat64()
+	}
+	got := c.Clone()
+	ApplyQ(a, tau, blas.NoTrans, got, 4, nil)
+	ApplyQ(a, tau, blas.Trans, got, 4, nil)
+	if !got.Equalish(c, 1e-12) {
+		t.Fatal("Qᵀ·Q·C != C")
+	}
+}
+
+func TestFullEigendecompositionResidual(t *testing.T) {
+	// End-to-end one-stage: A z = λ z for every eigenpair.
+	rng := rand.New(rand.NewSource(6))
+	n := 40
+	orig := randSym(rng, n)
+	a := orig.Clone()
+	d, e, tau := Sytrd(a, 8, nil)
+	z := matrix.Eye(n)
+	if err := tridiag.Steqr(d, e, z); err != nil {
+		t.Fatal(err)
+	}
+	// Z = Q·E.
+	ApplyQ(a, tau, blas.NoTrans, z, 8, nil)
+	// Residuals.
+	norm := orig.FrobeniusNorm()
+	for k := 0; k < n; k++ {
+		zk := z.Data[k*z.Stride : k*z.Stride+n]
+		r := make([]float64, n)
+		blas.Dgemv(blas.NoTrans, n, n, 1, orig.Data, orig.Stride, zk, 1, 0, r, 1)
+		blas.Daxpy(n, -d[k], zk, 1, r, 1)
+		if res := blas.Dnrm2(n, r, 1); res > 1e-12*norm*float64(n) {
+			t.Fatalf("eigenpair %d residual %g", k, res)
+		}
+	}
+	// Orthogonality of the final Z.
+	ztz := matrix.NewDense(n, n)
+	blas.Dgemm(blas.Trans, blas.NoTrans, n, n, n, 1, z.Data, z.Stride, z.Data, z.Stride, 0, ztz.Data, ztz.Stride)
+	if !ztz.Equalish(matrix.Eye(n), 1e-12*float64(n)) {
+		t.Fatal("final Z not orthogonal")
+	}
+}
+
+func TestFlopAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 64
+	a := randSym(rng, n)
+	col := trace.New()
+	Sytrd(a, 8, col)
+	// The reduction is 4/3·n³ + O(n²) flops; the accounting should land in
+	// the right ballpark (within 2× on either side).
+	want := 4.0 / 3.0 * float64(n) * float64(n) * float64(n)
+	got := float64(col.TotalFlops())
+	if got < want/2 || got > want*2 {
+		t.Fatalf("flop count %g not within 2x of 4/3 n³ = %g", got, want)
+	}
+	// The symv share must dominate gemv in the one-stage reduction.
+	if col.Flops(trace.KSymv) < col.Flops(trace.KGemm) {
+		t.Fatal("one-stage reduction should be symv-dominated")
+	}
+}

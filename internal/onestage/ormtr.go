@@ -1,0 +1,70 @@
+package onestage
+
+import (
+	"repro/internal/blas"
+	"repro/internal/householder"
+	"repro/internal/matrix"
+	"repro/internal/trace"
+)
+
+// ApplyQ applies the orthogonal matrix Q from Sytrd (packed in the lower
+// triangle of a, with scales tau) to the n×m matrix c from the left:
+//
+//	trans = NoTrans:  C := Q·C
+//	trans = Trans:    C := Qᵀ·C
+//
+// Q = H_0·H_1⋯H_{n−3}, where reflector i acts on rows i+1..n−1. The
+// application is blocked (Larft/Larfb) with panel width nb, which is what
+// makes the one-stage back-transformation run at Level-3 speed (the "Update
+// Z = 2n³·f" term in the paper's Eq. 4). This is the equivalent of LAPACK's
+// DORMTR(side='L', uplo='L').
+func ApplyQ(a *matrix.Dense, tau []float64, trans blas.Transpose, c *matrix.Dense, nb int, tc *trace.Collector) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("onestage: ApplyQ requires square a")
+	}
+	if c.Rows != n {
+		panic("onestage: ApplyQ dimension mismatch")
+	}
+	if nb <= 0 {
+		nb = DefaultNB
+	}
+	if n <= 1 {
+		return
+	}
+	m := c.Cols
+	nr := n - 1 // number of reflector slots (tau has n−1 entries; last may be 0)
+	work := make([]float64, nb*m)
+	tmat := make([]float64, nb*nb)
+
+	// Panels of reflectors [i0, i0+pb). For Q·C apply the last panel first;
+	// for Qᵀ·C apply in forward order.
+	type panel struct{ i0, pb int }
+	var panels []panel
+	for i0 := 0; i0 < nr; i0 += nb {
+		panels = append(panels, panel{i0, min(nb, nr - i0)})
+	}
+	if trans == blas.NoTrans {
+		for i := 0; i < len(panels)/2; i++ {
+			panels[i], panels[len(panels)-1-i] = panels[len(panels)-1-i], panels[i]
+		}
+	}
+	for _, p := range panels {
+		// Reflector i0+j has its implicit unit at row i0+j+1, so the V
+		// submatrix for the panel is a[i0+1: , i0 : i0+pb].
+		rows := n - p.i0 - 1
+		v := a.Data[(p.i0+1)+p.i0*a.Stride:]
+		householder.Larft(rows, p.pb, v, a.Stride, tau[p.i0:p.i0+p.pb], tmat, p.pb)
+		csub := c.View(p.i0+1, 0, rows, m)
+		householder.Larfb(blas.Left, trans, rows, m, p.pb, v, a.Stride, tmat, p.pb, csub.Data, csub.Stride, work)
+		tc.AddFlops(trace.KLarfb, 4*int64(rows)*int64(m)*int64(p.pb))
+	}
+}
+
+// BuildQ forms the orthogonal matrix Q from Sytrd explicitly (the
+// equivalent of DORGTR): it applies Q to the identity.
+func BuildQ(a *matrix.Dense, tau []float64, nb int, tc *trace.Collector) *matrix.Dense {
+	q := matrix.Eye(a.Rows)
+	ApplyQ(a, tau, blas.NoTrans, q, nb, tc)
+	return q
+}

@@ -1,0 +1,123 @@
+// Package onestage implements the classic one-stage LAPACK algorithm the
+// paper benchmarks against: blocked reduction of a dense symmetric matrix
+// directly to tridiagonal form (DSYTRD with DLATRD panels) and the
+// corresponding back-transformation (DORMTR/DORGTR). Each reflector requires
+// a symmetric matrix–vector product with the entire trailing submatrix, so
+// the algorithm streams the matrix from main memory once per column — the
+// memory-bound behaviour that motivates the two-stage approach.
+package onestage
+
+import (
+	"repro/internal/blas"
+	"repro/internal/householder"
+	"repro/internal/matrix"
+	"repro/internal/trace"
+)
+
+// DefaultNB is the default panel width for the blocked reduction.
+const DefaultNB = 32
+
+// Sytrd reduces the symmetric matrix held in the lower triangle of a to
+// tridiagonal form: A = Q·T·Qᵀ. On return:
+//
+//   - d (length n) holds the diagonal of T,
+//   - e (length n−1) holds the subdiagonal of T,
+//   - tau (length n−1) holds the reflector scales,
+//   - the columns of a below the first subdiagonal hold the essential parts
+//     of the reflectors (reflector i occupies a[i+2:, i], with an implicit
+//     leading 1 at row i+1), exactly LAPACK's packing.
+//
+// nb is the panel width (DefaultNB if ≤ 0). tc, which may be nil, receives
+// flop accounting.
+func Sytrd(a *matrix.Dense, nb int, tc *trace.Collector) (d, e, tau []float64) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("onestage: Sytrd requires a square matrix")
+	}
+	if nb <= 0 {
+		nb = DefaultNB
+	}
+	d = make([]float64, n)
+	e = make([]float64, max(0, n-1))
+	tau = make([]float64, max(0, n-1))
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		d[0] = a.At(0, 0)
+		return
+	}
+
+	lda := a.Stride
+	w := matrix.NewDense(n, nb)
+	for i0 := 0; i0 < n-1; i0 += nb {
+		pb := min(nb, n-1-i0) // reflectors in this panel
+		remain := n - i0      // rows of the trailing part incl. panel
+		latrd(a.View(i0, i0, remain, remain), pb, d[i0:], e[i0:], tau[i0:], w, tc)
+		// Rank-2pb update of the trailing submatrix:
+		// A[i0+pb:, i0+pb:] -= V·Wᵀ + W·Vᵀ where V is the panel's
+		// reflectors and W the latrd workspace.
+		t0 := i0 + pb
+		nt := n - t0
+		if nt > 0 {
+			vsub := a.Data[t0+i0*lda:]
+			wsub := w.Data[pb:]
+			blas.Dsyr2k(blas.Lower, blas.NoTrans, nt, pb, -1, vsub, lda, wsub, w.Stride, 1, a.Data[t0+t0*lda:], lda)
+			tc.AddFlops(trace.KSyrk, 2*int64(nt)*int64(nt+1)*int64(pb))
+		}
+	}
+	// The diagonal of the fully reduced matrix is T's diagonal.
+	for i := 0; i < n; i++ {
+		d[i] = a.At(i, i)
+	}
+	return d, e, tau
+}
+
+// latrd reduces the first pb columns of the symmetric sub (order m, lower)
+// to tridiagonal form, accumulating the update factors into w so the caller
+// can apply a single rank-2pb update to the trailing submatrix. It mirrors
+// LAPACK's DLATRD (uplo = 'L').
+func latrd(sub *matrix.Dense, pb int, d, e, tau []float64, w *matrix.Dense, tc *trace.Collector) {
+	m := sub.Rows
+	lda := sub.Stride
+	ldw := w.Stride
+	for i := 0; i < pb; i++ {
+		rows := m - i // length of column i from the diagonal down
+		// Update A[i:, i] with the previous panel columns:
+		// A[i:, i] -= V[i:, :i]·W[i, :i]ᵀ + W[i:, :i]·V[i, :i]ᵀ.
+		if i > 0 {
+			col := sub.Data[i+i*lda:]
+			blas.Dgemv(blas.NoTrans, rows, i, -1, sub.Data[i:], lda, w.Data[i:], ldw, 1, col, 1)
+			blas.Dgemv(blas.NoTrans, rows, i, -1, w.Data[i:], ldw, sub.Data[i:], lda, 1, col, 1)
+			tc.AddFlops(trace.KGemv, 4*int64(rows)*int64(i))
+		}
+		if i >= len(e) || m-i-1 == 0 {
+			continue
+		}
+		// Generate the reflector annihilating A[i+2:, i].
+		alpha := sub.At(i+1, i)
+		beta, t := householder.Larfg(m-i-1, alpha, sub.Data[i+2+i*lda:], 1)
+		e[i] = beta
+		tau[i] = t
+		sub.Set(i+1, i, 1) // store the implicit 1 so symv can use the column
+		// w_i = tau · A[i+1:, i+1:]·v  (symmetric, trailing).
+		vlen := m - i - 1
+		v := sub.Data[i+1+i*lda:]
+		wi := w.Data[i+1+i*ldw:]
+		blas.Dsymv(blas.Lower, vlen, t, sub.Data[(i+1)+(i+1)*lda:], lda, v, 1, 0, wi, 1)
+		tc.AddFlops(trace.KSymv, 2*int64(vlen)*int64(vlen))
+		if i > 0 {
+			// w_i -= tau·(V·(Wᵀv) + W·(Vᵀv)) restricted to rows i+1:.
+			tmp := make([]float64, i)
+			blas.Dgemv(blas.Trans, vlen, i, 1, w.Data[i+1:], ldw, v, 1, 0, tmp, 1)
+			blas.Dgemv(blas.NoTrans, vlen, i, -t, sub.Data[i+1:], lda, tmp, 1, 1, wi, 1)
+			blas.Dgemv(blas.Trans, vlen, i, 1, sub.Data[i+1:], lda, v, 1, 0, tmp, 1)
+			blas.Dgemv(blas.NoTrans, vlen, i, -t, w.Data[i+1:], ldw, tmp, 1, 1, wi, 1)
+			tc.AddFlops(trace.KGemv, 8*int64(vlen)*int64(i))
+		}
+		// w_i -= (tau/2)·(w_iᵀ·v)·v.
+		dot := blas.Ddot(vlen, wi, 1, v, 1)
+		blas.Daxpy(vlen, -0.5*t*dot, v, 1, wi, 1)
+		tc.AddFlops(trace.KOther, 4*int64(vlen))
+	}
+}

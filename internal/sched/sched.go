@@ -1,0 +1,391 @@
+// Package sched implements the task runtime the tile algorithms are built
+// on. It provides the two execution strategies the paper combines:
+//
+//   - A dynamic scheduler in the style of PLASMA's QUARK: tasks are submitted
+//     with their read/write sets over abstract resources (tile handles); the
+//     runtime infers RAW/WAR/WAW dependences from the submission order,
+//     builds the DAG implicitly, and executes ready tasks on a worker pool.
+//     Tasks carry priorities (to push the critical path) and an optional
+//     worker-affinity mask, which implements the paper's core restriction
+//     for the memory-bound bulge-chasing stage.
+//
+//   - A static scheduler (see static.go) that replays a precomputed
+//     per-worker order with a progress table, as PLASMA's static runtime
+//     does for the second stage.
+//
+// Both honour the same dependence semantics: the execution is equivalent to
+// executing the tasks sequentially in submission order.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AccessMode describes how a task uses a resource.
+type AccessMode uint8
+
+const (
+	// Read declares a read-only access.
+	Read AccessMode = iota
+	// Write declares a write-only access (the previous contents are not
+	// read). Dependence-wise it behaves like ReadWrite.
+	Write
+	// ReadWrite declares an in-place update.
+	ReadWrite
+)
+
+// Dep is one entry of a task's access list: the resource it touches and how.
+// Resources are opaque integers; the caller (e.g. the tile layer) assigns
+// them. Distinct resources are assumed not to alias.
+type Dep struct {
+	Resource int
+	Mode     AccessMode
+}
+
+// R is shorthand for a read dependence.
+func R(res int) Dep { return Dep{Resource: res, Mode: Read} }
+
+// W is shorthand for a write dependence.
+func W(res int) Dep { return Dep{Resource: res, Mode: Write} }
+
+// RW is shorthand for a read-write dependence.
+func RW(res int) Dep { return Dep{Resource: res, Mode: ReadWrite} }
+
+// Task is a unit of work with its declared data accesses.
+type Task struct {
+	// Name labels the task in traces ("GEQRT(2,1)").
+	Name string
+	// Run executes the task body. worker is the index of the executing
+	// worker in [0, Workers).
+	Run func(worker int)
+	// Deps is the access list used for dependence inference.
+	Deps []Dep
+	// Priority orders the ready queue: higher runs first. Use it to push
+	// critical-path tasks (panel factorizations) ahead of trailing updates.
+	Priority int
+	// Affinity restricts execution to the workers whose bit is set. Zero
+	// means any worker. This implements the paper's core restriction for
+	// memory-bound stages.
+	Affinity uint64
+}
+
+// TraceEvent records one executed task for post-mortem analysis (Gantt
+// charts, per-kernel time accounting).
+type TraceEvent struct {
+	Name       string
+	Worker     int
+	Start, End time.Duration // relative to scheduler start
+	Seq        int           // submission sequence number
+}
+
+// node is the runtime state of a submitted task.
+type node struct {
+	task      Task
+	seq       int
+	waitCount int     // unsatisfied dependences
+	children  []*node // tasks that depend on this one
+	done      bool
+}
+
+// resourceState tracks the last-writer/reader frontier per resource.
+type resourceState struct {
+	lastWriter *node
+	readers    []*node // readers since lastWriter
+}
+
+// Scheduler is the dynamic dependence-tracking runtime. Create with New,
+// submit tasks with Submit (from any goroutine, though dependence semantics
+// follow the global submission order, so concurrent submitters must do their
+// own ordering), and call Wait to drain.
+type Scheduler struct {
+	workers int
+	trace   bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	resources map[int]*resourceState
+	ready     readyQueues
+	pending   int // submitted but not finished
+	started   bool
+	stopped   bool
+	seq       int
+	startTime time.Time
+	events    []TraceEvent
+	wg        sync.WaitGroup
+}
+
+// Option configures a Scheduler.
+type Option func(*Scheduler)
+
+// WithTrace enables recording of TraceEvents for every executed task.
+func WithTrace() Option { return func(s *Scheduler) { s.trace = true } }
+
+// Deferred creates the scheduler paused: no task runs until Start is called.
+// Useful to build the whole DAG first (and in tests, to make priority order
+// observable).
+func Deferred() Option { return func(s *Scheduler) { s.started = false } }
+
+// New creates a dynamic scheduler with the given number of workers. Workers
+// are goroutines; on a machine with fewer cores they time-share, which
+// preserves the dependence semantics (and lets the scheduler logic be tested
+// at any width).
+func New(workers int, opts ...Option) *Scheduler {
+	if workers < 1 {
+		panic("sched: need at least one worker")
+	}
+	if workers > 64 {
+		panic("sched: at most 64 workers (affinity masks are 64-bit)")
+	}
+	s := &Scheduler{
+		workers:   workers,
+		resources: make(map[int]*resourceState),
+		started:   true,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, o := range opts {
+		o(s)
+	}
+	s.startTime = time.Now()
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go s.worker(w)
+	}
+	return s
+}
+
+// Workers reports the worker pool width.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Submit registers a task. Dependences are inferred against previously
+// submitted tasks from the access list.
+func (s *Scheduler) Submit(t Task) {
+	if t.Run == nil {
+		panic("sched: task without body")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		panic("sched: submit after Shutdown")
+	}
+	n := &node{task: t, seq: s.seq}
+	s.seq++
+	s.pending++
+
+	// Infer dependences. A resource may appear more than once in the access
+	// list (e.g. a two-sided kernel reading and writing the same tile); the
+	// strongest mode wins.
+	strongest := make(map[int]AccessMode, len(t.Deps))
+	for _, d := range t.Deps {
+		if cur, ok := strongest[d.Resource]; !ok || modeRank(d.Mode) > modeRank(cur) {
+			strongest[d.Resource] = d.Mode
+		}
+	}
+	for res, mode := range strongest {
+		st := s.resources[res]
+		if st == nil {
+			st = &resourceState{}
+			s.resources[res] = st
+		}
+		switch mode {
+		case Read:
+			if st.lastWriter != nil && !st.lastWriter.done {
+				st.lastWriter.children = append(st.lastWriter.children, n)
+				n.waitCount++
+			}
+			st.readers = append(st.readers, n)
+		default: // Write, ReadWrite
+			if st.lastWriter != nil && !st.lastWriter.done {
+				st.lastWriter.children = append(st.lastWriter.children, n)
+				n.waitCount++
+			}
+			for _, r := range st.readers {
+				if r != n && !r.done {
+					r.children = append(r.children, n)
+					n.waitCount++
+				}
+			}
+			st.lastWriter = n
+			st.readers = st.readers[:0]
+		}
+	}
+	if n.waitCount == 0 {
+		s.ready.push(n)
+		s.cond.Broadcast()
+	}
+}
+
+func modeRank(m AccessMode) int {
+	if m == Read {
+		return 0
+	}
+	return 1
+}
+
+// Start releases a scheduler created with Deferred.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	s.started = true
+	s.startTime = time.Now()
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Wait blocks until every submitted task has finished. The scheduler remains
+// usable: more tasks may be submitted afterwards.
+func (s *Scheduler) Wait() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		panic("sched: Wait on a deferred scheduler that was never started")
+	}
+	for s.pending > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown drains remaining work and stops the workers. The scheduler cannot
+// be used afterwards.
+func (s *Scheduler) Shutdown() {
+	s.mu.Lock()
+	if !s.started {
+		s.started = true
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.Wait()
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// Trace returns the recorded events (only meaningful with WithTrace).
+func (s *Scheduler) Trace() []TraceEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceEvent, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+func (s *Scheduler) worker(id int) {
+	defer s.wg.Done()
+	mask := uint64(1) << uint(id)
+	for {
+		s.mu.Lock()
+		var n *node
+		for {
+			if s.started {
+				n = s.ready.popFor(mask)
+				if n != nil {
+					break
+				}
+			}
+			if s.stopped {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+
+		start := time.Since(s.startTime)
+		n.task.Run(id)
+		end := time.Since(s.startTime)
+
+		s.mu.Lock()
+		n.done = true
+		if s.trace {
+			s.events = append(s.events, TraceEvent{
+				Name: n.task.Name, Worker: id, Start: start, End: end, Seq: n.seq,
+			})
+		}
+		for _, c := range n.children {
+			c.waitCount--
+			if c.waitCount == 0 {
+				s.ready.push(c)
+			}
+		}
+		n.children = nil
+		s.pending--
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+}
+
+// readyQueues holds one priority heap per distinct affinity mask. The number
+// of distinct masks in practice is tiny (everything, plus the restricted set
+// used by the bulge-chasing stage), so a worker checks each heap whose mask
+// includes it and takes the globally best candidate.
+type readyQueues struct {
+	heaps map[uint64]*taskHeap
+}
+
+func (q *readyQueues) push(n *node) {
+	if q.heaps == nil {
+		q.heaps = make(map[uint64]*taskHeap)
+	}
+	m := n.task.Affinity
+	h := q.heaps[m]
+	if h == nil {
+		h = &taskHeap{}
+		q.heaps[m] = h
+	}
+	heap.Push(h, n)
+}
+
+// popFor removes and returns the best ready task runnable by a worker with
+// the given mask, or nil.
+func (q *readyQueues) popFor(workerMask uint64) *node {
+	var best *taskHeap
+	for m, h := range q.heaps {
+		if h.Len() == 0 {
+			continue
+		}
+		if m != 0 && m&workerMask == 0 {
+			continue
+		}
+		if best == nil || less((*h)[0], (*best)[0]) {
+			best = h
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return heap.Pop(best).(*node)
+}
+
+// less orders the ready queue: higher priority first, then submission order
+// (FIFO) for determinism.
+func less(a, b *node) bool {
+	if a.task.Priority != b.task.Priority {
+		return a.task.Priority > b.task.Priority
+	}
+	return a.seq < b.seq
+}
+
+type taskHeap []*node
+
+func (h taskHeap) Len() int            { return len(h) }
+func (h taskHeap) Less(i, j int) bool  { return less(h[i], h[j]) }
+func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// String implements fmt.Stringer for debugging.
+func (s *Scheduler) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("sched{workers=%d pending=%d submitted=%d}", s.workers, s.pending, s.seq)
+}

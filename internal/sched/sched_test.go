@@ -1,0 +1,426 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSequentialChain(t *testing.T) {
+	// A chain of RW tasks on one resource must execute in submission order.
+	s := New(4)
+	defer s.Shutdown()
+	var order []int
+	var mu sync.Mutex
+	for i := 0; i < 50; i++ {
+		i := i
+		s.Submit(Task{
+			Name: "chain",
+			Deps: []Dep{RW(1)},
+			Run: func(int) {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			},
+		})
+	}
+	s.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("chain executed out of order at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestReadersRunConcurrentlyBetweenWriters(t *testing.T) {
+	// writer; N readers; writer. The second writer must see all readers done.
+	s := New(4)
+	defer s.Shutdown()
+	var stage int32 // 0 before w1, 1 after w1, 2 after w2
+	var readersDone int32
+	s.Submit(Task{Name: "w1", Deps: []Dep{W(7)}, Run: func(int) { atomic.StoreInt32(&stage, 1) }})
+	const nr = 16
+	for i := 0; i < nr; i++ {
+		s.Submit(Task{Name: "r", Deps: []Dep{R(7)}, Run: func(int) {
+			if atomic.LoadInt32(&stage) != 1 {
+				t.Error("reader ran before first writer or after second")
+			}
+			atomic.AddInt32(&readersDone, 1)
+		}})
+	}
+	s.Submit(Task{Name: "w2", Deps: []Dep{W(7)}, Run: func(int) {
+		if atomic.LoadInt32(&readersDone) != nr {
+			t.Errorf("second writer ran with %d/%d readers done", readersDone, nr)
+		}
+		atomic.StoreInt32(&stage, 2)
+	}})
+	s.Wait()
+	if stage != 2 {
+		t.Fatal("not all tasks ran")
+	}
+}
+
+func TestIndependentTasksParallel(t *testing.T) {
+	// With w workers and tasks that block on a shared barrier, all workers
+	// must be used (proves tasks on distinct resources run concurrently).
+	const w = 4
+	s := New(w)
+	defer s.Shutdown()
+	var barrier sync.WaitGroup
+	barrier.Add(w)
+	workers := make(chan int, w)
+	for i := 0; i < w; i++ {
+		i := i
+		s.Submit(Task{
+			Name: "par",
+			Deps: []Dep{W(100 + i)},
+			Run: func(worker int) {
+				barrier.Done()
+				barrier.Wait() // deadlocks unless all w run simultaneously
+				workers <- worker
+			},
+		})
+	}
+	donech := make(chan struct{})
+	go func() { s.Wait(); close(donech) }()
+	select {
+	case <-donech:
+	case <-time.After(10 * time.Second):
+		t.Fatal("parallel tasks deadlocked: workers not running concurrently")
+	}
+	seen := map[int]bool{}
+	for i := 0; i < w; i++ {
+		seen[<-workers] = true
+	}
+	if len(seen) != w {
+		t.Fatalf("expected %d distinct workers, got %d", w, len(seen))
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	// With a deferred scheduler and one worker, independent tasks must run
+	// in priority order.
+	s := New(1, Deferred())
+	defer s.Shutdown()
+	var order []int
+	var mu sync.Mutex
+	prios := []int{1, 5, 3, 9, 0}
+	for i, p := range prios {
+		i, p := i, p
+		s.Submit(Task{
+			Name:     "p",
+			Priority: p,
+			Deps:     []Dep{W(200 + i)},
+			Run: func(int) {
+				mu.Lock()
+				order = append(order, p)
+				mu.Unlock()
+			},
+		})
+	}
+	s.Start()
+	s.Wait()
+	for i := 1; i < len(order); i++ {
+		if order[i-1] < order[i] {
+			t.Fatalf("priority order violated: %v", order)
+		}
+	}
+}
+
+func TestAffinityRestriction(t *testing.T) {
+	s := New(4)
+	defer s.Shutdown()
+	const target = 2
+	for i := 0; i < 20; i++ {
+		s.Submit(Task{
+			Name:     "aff",
+			Affinity: 1 << target,
+			Deps:     []Dep{RW(1)},
+			Run: func(worker int) {
+				if worker != target {
+					t.Errorf("affinity task ran on worker %d, want %d", worker, target)
+				}
+			},
+		})
+	}
+	s.Wait()
+}
+
+func TestAffinityZeroMeansAny(t *testing.T) {
+	s := New(3)
+	defer s.Shutdown()
+	var ran int32
+	for i := 0; i < 30; i++ {
+		i := i
+		s.Submit(Task{Deps: []Dep{W(i)}, Run: func(int) { atomic.AddInt32(&ran, 1) }, Name: "any"})
+	}
+	s.Wait()
+	if ran != 30 {
+		t.Fatalf("ran %d/30", ran)
+	}
+}
+
+func TestWaitThenReuse(t *testing.T) {
+	s := New(2)
+	defer s.Shutdown()
+	var a, b int32
+	s.Submit(Task{Name: "a", Deps: []Dep{W(1)}, Run: func(int) { atomic.AddInt32(&a, 1) }})
+	s.Wait()
+	if a != 1 {
+		t.Fatal("first batch incomplete")
+	}
+	s.Submit(Task{Name: "b", Deps: []Dep{R(1)}, Run: func(int) { atomic.AddInt32(&b, 1) }})
+	s.Wait()
+	if b != 1 {
+		t.Fatal("second batch incomplete")
+	}
+}
+
+func TestTraceRecordsAllTasks(t *testing.T) {
+	s := New(2, WithTrace())
+	for i := 0; i < 10; i++ {
+		s.Submit(Task{Name: "tr", Deps: []Dep{RW(5)}, Run: func(int) {}})
+	}
+	s.Wait()
+	ev := s.Trace()
+	s.Shutdown()
+	if len(ev) != 10 {
+		t.Fatalf("trace has %d events, want 10", len(ev))
+	}
+	for _, e := range ev {
+		if e.End < e.Start {
+			t.Fatalf("event %q ends before it starts", e.Name)
+		}
+	}
+}
+
+// TestSerializabilityProperty drives random task graphs and checks that the
+// execution is equivalent to sequential submission order: every reader of a
+// resource observes exactly the number of writes submitted before it, and
+// the final write count matches the number of writers.
+func TestSerializabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nRes = 6
+		nTasks := 20 + rng.Intn(60)
+		var counters [nRes]int64
+
+		type expect struct {
+			task     int
+			resource int
+			want     int64
+			got      *int64
+		}
+		var expects []expect
+		writesSoFar := [nRes]int64{}
+
+		s := New(1 + rng.Intn(7))
+		for i := 0; i < nTasks; i++ {
+			nDeps := 1 + rng.Intn(3)
+			var deps []Dep
+			var reads, writes []int
+			used := map[int]bool{}
+			for d := 0; d < nDeps; d++ {
+				res := rng.Intn(nRes)
+				if used[res] {
+					continue
+				}
+				used[res] = true
+				if rng.Intn(2) == 0 {
+					deps = append(deps, R(res))
+					reads = append(reads, res)
+				} else {
+					deps = append(deps, RW(res))
+					writes = append(writes, res)
+				}
+			}
+			for _, res := range reads {
+				e := expect{task: i, resource: res, want: writesSoFar[res], got: new(int64)}
+				expects = append(expects, e)
+				res := res
+				got := e.got
+				deps := deps
+				s.Submit(Task{
+					Name: "reader",
+					Deps: deps,
+					Run: func(int) {
+						atomic.StoreInt64(got, atomic.LoadInt64(&counters[res]))
+					},
+				})
+				// One submission per read expectation keeps bookkeeping
+				// simple; writers get their own task below.
+				deps = nil
+				_ = deps
+			}
+			for _, res := range writes {
+				res := res
+				s.Submit(Task{
+					Name: "writer",
+					Deps: []Dep{RW(res)},
+					Run: func(int) {
+						atomic.AddInt64(&counters[res], 1)
+					},
+				})
+				writesSoFar[res]++
+			}
+		}
+		s.Wait()
+		s.Shutdown()
+		for _, e := range expects {
+			if *e.got != e.want {
+				t.Logf("seed %d: task %d read resource %d = %d, want %d", seed, e.task, e.resource, *e.got, e.want)
+				return false
+			}
+		}
+		for r := 0; r < nRes; r++ {
+			if counters[r] != writesSoFar[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateResourceInDeps(t *testing.T) {
+	// A task listing the same resource as Read and Write must behave as a
+	// writer (strongest mode wins) and not deadlock on itself.
+	s := New(2)
+	defer s.Shutdown()
+	var v int64
+	s.Submit(Task{Name: "w", Deps: []Dep{W(3)}, Run: func(int) { atomic.StoreInt64(&v, 1) }})
+	s.Submit(Task{Name: "rw", Deps: []Dep{R(3), W(3)}, Run: func(int) {
+		if atomic.LoadInt64(&v) != 1 {
+			t.Error("mixed-mode task ran before its writer dependence")
+		}
+		atomic.StoreInt64(&v, 2)
+	}})
+	s.Submit(Task{Name: "r", Deps: []Dep{R(3)}, Run: func(int) {
+		if atomic.LoadInt64(&v) != 2 {
+			t.Error("reader did not see mixed-mode writer")
+		}
+	}})
+	s.Wait()
+}
+
+func TestStaticScheduleRespectsAfter(t *testing.T) {
+	// Build a chain 0←1←2...←n across round-robin workers.
+	const n = 40
+	var order []int
+	var mu sync.Mutex
+	tasks := make([]StaticTask, n)
+	for i := 0; i < n; i++ {
+		i := i
+		var after []int
+		if i > 0 {
+			after = []int{i - 1}
+		}
+		tasks[i] = StaticTask{
+			Name:  "st",
+			After: after,
+			Run: func(int) {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			},
+		}
+	}
+	RunStatic(RoundRobinSchedule(tasks, 4))
+	if len(order) != n {
+		t.Fatalf("ran %d/%d static tasks", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("static chain out of order: %v", order)
+		}
+	}
+}
+
+func TestStaticDiamond(t *testing.T) {
+	// Diamond: 0 → {1,2} → 3.
+	var seen [4]int32
+	tasks := []StaticTask{
+		{Name: "top", Run: func(int) { atomic.StoreInt32(&seen[0], 1) }},
+		{Name: "l", After: []int{0}, Run: func(int) {
+			if atomic.LoadInt32(&seen[0]) != 1 {
+				panic("l before top")
+			}
+			atomic.StoreInt32(&seen[1], 1)
+		}},
+		{Name: "r", After: []int{0}, Run: func(int) {
+			if atomic.LoadInt32(&seen[0]) != 1 {
+				panic("r before top")
+			}
+			atomic.StoreInt32(&seen[2], 1)
+		}},
+		{Name: "bot", After: []int{1, 2}, Run: func(int) {
+			if atomic.LoadInt32(&seen[1]) != 1 || atomic.LoadInt32(&seen[2]) != 1 {
+				panic("bot before l/r")
+			}
+			atomic.StoreInt32(&seen[3], 1)
+		}},
+	}
+	RunStatic(RoundRobinSchedule(tasks, 3))
+	if seen[3] != 1 {
+		t.Fatal("diamond did not complete")
+	}
+}
+
+func TestSchedulerStress(t *testing.T) {
+	// Hammer the scheduler with a wide mix of dependence patterns under the
+	// race detector.
+	s := New(8)
+	defer s.Shutdown()
+	var total int64
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		res := rng.Intn(32)
+		mode := RW(res)
+		if rng.Intn(3) == 0 {
+			mode = R(res)
+		}
+		s.Submit(Task{
+			Name: "stress",
+			Deps: []Dep{mode, R(rng.Intn(32))},
+			Run:  func(int) { atomic.AddInt64(&total, 1) },
+		})
+	}
+	s.Wait()
+	if total != 2000 {
+		t.Fatalf("ran %d/2000", total)
+	}
+}
+
+func TestWorkersAndString(t *testing.T) {
+	s := New(3)
+	defer s.Shutdown()
+	if s.Workers() != 3 {
+		t.Fatalf("Workers = %d", s.Workers())
+	}
+	if str := s.String(); str == "" {
+		t.Fatal("String empty")
+	}
+	// Constructor guards.
+	for _, bad := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) should panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+	// Task without body.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit without Run should panic")
+		}
+	}()
+	s.Submit(Task{Name: "empty"})
+}

@@ -1,0 +1,76 @@
+package sched
+
+import "sync"
+
+// StaticTask is one entry of a static schedule: a body plus the global
+// indices of the tasks that must have completed before it may run. The
+// indices refer to positions in the flat task array passed to RunStatic.
+type StaticTask struct {
+	Name string
+	Run  func(worker int)
+	// After lists global task indices that must complete first.
+	After []int
+}
+
+// StaticSchedule is a precomputed assignment of tasks to workers. Tasks
+// assigned to one worker run in list order; cross-worker ordering is
+// enforced through the progress table, exactly like PLASMA's static runtime
+// for the bulge-chasing stage.
+type StaticSchedule struct {
+	// PerWorker[w] lists global task indices in execution order for worker w.
+	PerWorker [][]int
+	// Tasks is the flat task array the indices refer to.
+	Tasks []StaticTask
+}
+
+// RunStatic executes the schedule and blocks until every task completed.
+// The progress table is a condition-variable-guarded bitset: worker w, before
+// running task t, waits until all of t.After are marked done.
+func RunStatic(s StaticSchedule) {
+	done := make([]bool, len(s.Tasks))
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+
+	var wg sync.WaitGroup
+	for w := range s.PerWorker {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, ti := range s.PerWorker[w] {
+				t := &s.Tasks[ti]
+				mu.Lock()
+				for !allDone(done, t.After) {
+					cond.Wait()
+				}
+				mu.Unlock()
+				t.Run(w)
+				mu.Lock()
+				done[ti] = true
+				mu.Unlock()
+				cond.Broadcast()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func allDone(done []bool, deps []int) bool {
+	for _, d := range deps {
+		if !done[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundRobinSchedule builds a static schedule assigning tasks to workers
+// round-robin in index order. It is the simplest legal static mapping when
+// every cross-worker dependence is expressed in After.
+func RoundRobinSchedule(tasks []StaticTask, workers int) StaticSchedule {
+	per := make([][]int, workers)
+	for i := range tasks {
+		w := i % workers
+		per[w] = append(per[w], i)
+	}
+	return StaticSchedule{PerWorker: per, Tasks: tasks}
+}

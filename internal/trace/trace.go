@@ -1,0 +1,178 @@
+// Package trace provides the lightweight accounting layer used to
+// regenerate the paper's Tables 1–2 and Figure 1 from measured data: flop
+// counters per kernel class and wall-clock timers per solver phase. All
+// counters are atomic so kernels running under the task scheduler can report
+// concurrently; the cost is a few nanoseconds per kernel invocation, far
+// below kernel granularity.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kernel classes whose flops are tracked separately. The split mirrors the
+// paper's discussion: Level 3 (compute-bound) versus Level 2/1
+// (memory-bound) work determines the achievable rate of each phase.
+const (
+	KGemm  = "gemm"  // general matrix multiply (Level 3)
+	KSyrk  = "syr2k" // symmetric rank-2k update (Level 3)
+	KTrmm  = "trmm"  // triangular multiply (Level 3)
+	KSymv  = "symv"  // symmetric matrix-vector (Level 2, memory-bound)
+	KGemv  = "gemv"  // general matrix-vector (Level 2, memory-bound)
+	KLarf  = "larf"  // unblocked reflector application (Level 2)
+	KLarfb = "larfb" // blocked reflector application (Level 3)
+	KOther = "other" // Level 1 and scalar work
+)
+
+// Phase names used by the drivers.
+const (
+	PhaseReduction = "reduction"  // dense → tridiagonal (both stages)
+	PhaseStage1    = "stage1"     // dense → band
+	PhaseStage2    = "stage2"     // band → tridiagonal (bulge chasing)
+	PhaseEigT      = "eig_t"      // tridiagonal eigensolver
+	PhaseUpdateQ2  = "update_q2"  // apply Q2 to E
+	PhaseUpdateQ1  = "update_q1"  // apply Q1 to (Q2 E)
+	PhaseBacktrans = "back_trans" // total back-transformation
+)
+
+// Collector accumulates flops per kernel class and durations per phase. The
+// zero value is ready to use. A nil *Collector is valid everywhere and
+// records nothing, so instrumented code needs no conditionals.
+type Collector struct {
+	mu     sync.Mutex
+	flops  map[string]*int64
+	phases map[string]time.Duration
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{flops: make(map[string]*int64), phases: make(map[string]time.Duration)}
+}
+
+// AddFlops records n floating-point operations under the kernel class.
+func (c *Collector) AddFlops(kernel string, n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	p, ok := c.flops[kernel]
+	if !ok {
+		p = new(int64)
+		c.flops[kernel] = p
+	}
+	c.mu.Unlock()
+	atomic.AddInt64(p, n)
+}
+
+// Flops returns the recorded count for a kernel class.
+func (c *Collector) Flops(kernel string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.flops[kernel]; ok {
+		return atomic.LoadInt64(p)
+	}
+	return 0
+}
+
+// TotalFlops sums all kernel classes.
+func (c *Collector) TotalFlops() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, p := range c.flops {
+		t += atomic.LoadInt64(p)
+	}
+	return t
+}
+
+// Phase runs fn and adds its wall time to the named phase.
+func (c *Collector) Phase(name string, fn func()) {
+	if c == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	c.mu.Lock()
+	c.phases[name] += d
+	c.mu.Unlock()
+}
+
+// AddPhase adds a duration to a phase directly.
+func (c *Collector) AddPhase(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.phases[name] += d
+	c.mu.Unlock()
+}
+
+// PhaseTime returns the accumulated time of a phase.
+func (c *Collector) PhaseTime(name string) time.Duration {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.phases[name]
+}
+
+// Phases returns a copy of all phase durations.
+func (c *Collector) Phases() map[string]time.Duration {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Duration, len(c.phases))
+	for k, v := range c.phases {
+		out[k] = v
+	}
+	return out
+}
+
+// FlopReport formats the per-kernel flop counts, largest first.
+func (c *Collector) FlopReport() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	type kv struct {
+		k string
+		v int64
+	}
+	var rows []kv
+	for k, p := range c.flops {
+		rows = append(rows, kv{k, atomic.LoadInt64(p)})
+	}
+	c.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	s := ""
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8s %14d flops\n", r.k, r.v)
+	}
+	return s
+}
+
+// Reset clears all counters and phases.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flops = make(map[string]*int64)
+	c.phases = make(map[string]time.Duration)
+}

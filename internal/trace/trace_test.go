@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.AddFlops(KGemm, 100)
+	c.AddPhase(PhaseEigT, time.Second)
+	ran := false
+	c.Phase(PhaseStage1, func() { ran = true })
+	if !ran {
+		t.Fatal("nil collector did not run phase body")
+	}
+	if c.Flops(KGemm) != 0 || c.TotalFlops() != 0 || c.PhaseTime(PhaseEigT) != 0 {
+		t.Fatal("nil collector returned nonzero counts")
+	}
+}
+
+func TestFlopAccumulation(t *testing.T) {
+	c := New()
+	c.AddFlops(KGemm, 10)
+	c.AddFlops(KGemm, 5)
+	c.AddFlops(KSymv, 3)
+	if c.Flops(KGemm) != 15 {
+		t.Fatalf("gemm flops = %d, want 15", c.Flops(KGemm))
+	}
+	if c.TotalFlops() != 18 {
+		t.Fatalf("total = %d, want 18", c.TotalFlops())
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddFlops(KGemv, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Flops(KGemv) != 16000 {
+		t.Fatalf("concurrent adds lost updates: %d", c.Flops(KGemv))
+	}
+}
+
+func TestPhaseTiming(t *testing.T) {
+	c := New()
+	c.Phase(PhaseEigT, func() { time.Sleep(10 * time.Millisecond) })
+	c.Phase(PhaseEigT, func() { time.Sleep(10 * time.Millisecond) })
+	if got := c.PhaseTime(PhaseEigT); got < 15*time.Millisecond {
+		t.Fatalf("phase time %v, want ≥ 15ms", got)
+	}
+	ph := c.Phases()
+	if len(ph) != 1 {
+		t.Fatalf("phases map has %d entries", len(ph))
+	}
+}
+
+func TestReportAndReset(t *testing.T) {
+	c := New()
+	c.AddFlops(KGemm, 1000)
+	c.AddFlops(KSymv, 1)
+	rep := c.FlopReport()
+	if !strings.Contains(rep, "gemm") || !strings.Contains(rep, "symv") {
+		t.Fatalf("report missing kernels: %q", rep)
+	}
+	if strings.Index(rep, "gemm") > strings.Index(rep, "symv") {
+		t.Fatal("report not sorted by count")
+	}
+	c.Reset()
+	if c.TotalFlops() != 0 {
+		t.Fatal("reset did not clear flops")
+	}
+}

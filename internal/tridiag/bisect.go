@@ -1,0 +1,87 @@
+package tridiag
+
+import "math"
+
+// SturmCount returns the number of eigenvalues of the symmetric tridiagonal
+// matrix (d, e) that are strictly less than x, computed from the signs of
+// the LDLᵀ pivots of T − x·I with the standard safeguard against zero
+// pivots.
+func SturmCount(d, e []float64, x float64) int {
+	n := len(d)
+	count := 0
+	q := 1.0
+	for i := 0; i < n; i++ {
+		var e2 float64
+		if i > 0 {
+			e2 = e[i-1] * e[i-1]
+		}
+		q = d[i] - x - e2/q
+		if q <= 0 {
+			// An exactly zero pivot is counted as negative (tie-break: an
+			// eigenvalue of a leading minor equal to x counts as below x)
+			// and then replaced by a tiny negative value so the recurrence
+			// never divides by zero. Counting before replacing keeps the
+			// count monotone in x.
+			count++
+			if q == 0 {
+				q = -Eps * (math.Abs(x) + 1)
+			}
+		}
+	}
+	return count
+}
+
+// Stebz computes eigenvalues il..iu (1-based, inclusive, ascending order) of
+// the symmetric tridiagonal matrix (d, e) by bisection on the Sturm count.
+// Pass il=1, iu=n for the full spectrum. The returned slice has length
+// iu−il+1. Each eigenvalue is refined until the bracket width is below
+// 2·Eps·(|lo|+|hi|) + underflow guard, matching the DSTEBZ tolerance.
+func Stebz(d, e []float64, il, iu int) []float64 {
+	n := len(d)
+	checkTE(d, e)
+	if n == 0 {
+		return nil
+	}
+	if il < 1 || iu > n || il > iu {
+		panic("tridiag: Stebz index range out of bounds")
+	}
+	bound := maxAbsBound(d, e)
+	// Widen slightly so the outer brackets strictly contain the spectrum.
+	lo0 := -bound - 1 - 2*Eps*bound
+	hi0 := bound + 1 + 2*Eps*bound
+
+	out := make([]float64, iu-il+1)
+	for idx := il; idx <= iu; idx++ {
+		// Find eigenvalue #idx: the smallest x with SturmCount(x) >= idx.
+		lo, hi := lo0, hi0
+		for iterGuard := 0; iterGuard < 20000; iterGuard++ {
+			mid := 0.5 * (lo + hi)
+			if mid <= lo || mid >= hi {
+				break
+			}
+			if SturmCount(d, e, mid) >= idx {
+				hi = mid
+			} else {
+				lo = mid
+			}
+			if hi-lo <= 2*Eps*(math.Abs(lo)+math.Abs(hi))+2*math.SmallestNonzeroFloat64 {
+				break
+			}
+		}
+		out[idx-il] = 0.5 * (lo + hi)
+	}
+	return out
+}
+
+// StebzRange computes all eigenvalues in the half-open interval (vl, vu],
+// returning them in ascending order together with the index (1-based) of the
+// first one.
+func StebzRange(d, e []float64, vl, vu float64) (vals []float64, first int) {
+	nLess := SturmCount(d, e, vl)
+	nLeq := SturmCount(d, e, vu)
+	// Eigenvalues with index nLess+1 .. nLeq lie in (vl, vu].
+	if nLeq <= nLess {
+		return nil, nLess + 1
+	}
+	return Stebz(d, e, nLess+1, nLeq), nLess + 1
+}

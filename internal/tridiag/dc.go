@@ -1,0 +1,297 @@
+package tridiag
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// dcBaseSize is the subproblem order below which divide & conquer falls back
+// to QR iteration (LAPACK's SMLSIZ plays the same role).
+const dcBaseSize = 32
+
+// Stedc computes all eigenvalues and eigenvectors of the symmetric
+// tridiagonal matrix (d, e) by Cuppen's divide-and-conquer method with
+// deflation and Gu–Eisenstat stabilized eigenvector construction (the
+// "EVD/D&C" method of the paper's Table 1). Inputs are not modified.
+//
+// It returns the eigenvalues in ascending order and an orthogonal matrix Q
+// with T = Q·diag(vals)·Qᵀ.
+func Stedc(d, e []float64) (vals []float64, q *matrix.Dense, err error) {
+	checkTE(d, e)
+	dd := append([]float64(nil), d...)
+	var ee []float64
+	if len(d) > 1 {
+		ee = append([]float64(nil), e[:len(d)-1]...)
+	}
+	return dcRecurse(dd, ee)
+}
+
+// dcRecurse solves the subproblem (d, e) destructively.
+func dcRecurse(d, e []float64) ([]float64, *matrix.Dense, error) {
+	n := len(d)
+	if n == 0 {
+		return nil, matrix.NewDense(0, 0), nil
+	}
+	if n <= dcBaseSize {
+		z := matrix.Eye(n)
+		if err := Steqr(d, e, z); err != nil {
+			return nil, nil, err
+		}
+		return d, z, nil
+	}
+	m := n / 2
+	rho := e[m-1]
+	if rho == 0 {
+		// The matrix is block diagonal: solve the halves and interleave.
+		l1, q1, err := dcRecurse(d[:m], e[:m-1])
+		if err != nil {
+			return nil, nil, err
+		}
+		l2, q2, err := dcRecurse(d[m:], e[m:])
+		if err != nil {
+			return nil, nil, err
+		}
+		vals, q := dcDecoupled(l1, q1, l2, q2)
+		return vals, q, nil
+	}
+	rhoAbs := math.Abs(rho)
+	theta := 1.0
+	if rho < 0 {
+		theta = -1
+	}
+	// Rank-one tear: T = diag(T1', T2') + |rho|·u·uᵀ with u[m−1] = 1,
+	// u[m] = sign(rho).
+	d[m-1] -= rhoAbs
+	d[m] -= rhoAbs
+	l1, q1, err := dcRecurse(d[:m], e[:m-1])
+	if err != nil {
+		return nil, nil, err
+	}
+	l2, q2, err := dcRecurse(d[m:], e[m:])
+	if err != nil {
+		return nil, nil, err
+	}
+	// z = [last row of Q1 ; theta · first row of Q2].
+	z := make([]float64, n)
+	for j := 0; j < m; j++ {
+		z[j] = q1.At(m-1, j)
+	}
+	for j := 0; j < n-m; j++ {
+		z[m+j] = theta * q2.At(0, j)
+	}
+	dvals := make([]float64, n)
+	copy(dvals, l1)
+	copy(dvals[m:], l2)
+	// Block-diagonal accumulated basis.
+	q := matrix.NewDense(n, n)
+	for j := 0; j < m; j++ {
+		copy(q.Data[j*q.Stride:j*q.Stride+m], q1.Data[j*q1.Stride:j*q1.Stride+m])
+	}
+	for j := 0; j < n-m; j++ {
+		copy(q.Data[(m+j)*q.Stride+m:(m+j)*q.Stride+n], q2.Data[j*q2.Stride:j*q2.Stride+n-m])
+	}
+	return dcMerge(dvals, z, rhoAbs, q)
+}
+
+// dcDecoupled builds the combined sorted decomposition for a block-diagonal
+// matrix (exact-zero coupling between the halves).
+func dcDecoupled(l1 []float64, q1 *matrix.Dense, l2 []float64, q2 *matrix.Dense) ([]float64, *matrix.Dense) {
+	m, n2 := len(l1), len(l2)
+	n := m + n2
+	type ent struct {
+		val  float64
+		src  int // 0: q1, 1: q2
+		col  int
+	}
+	ents := make([]ent, 0, n)
+	for j, v := range l1 {
+		ents = append(ents, ent{v, 0, j})
+	}
+	for j, v := range l2 {
+		ents = append(ents, ent{v, 1, j})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].val < ents[j].val })
+	vals := make([]float64, n)
+	q := matrix.NewDense(n, n)
+	for j, en := range ents {
+		vals[j] = en.val
+		dst := q.Data[j*q.Stride : j*q.Stride+n]
+		if en.src == 0 {
+			copy(dst[:m], q1.Data[en.col*q1.Stride:en.col*q1.Stride+m])
+		} else {
+			copy(dst[m:], q2.Data[en.col*q2.Stride:en.col*q2.Stride+n2])
+		}
+	}
+	return vals, q
+}
+
+// dcMerge solves the rank-one-updated diagonal eigenproblem
+// M = diag(dvals) + rho·z·zᵀ (rho > 0) given the accumulated basis q
+// (columns correspond to entries of dvals), performing deflation, the
+// secular solves, the Löwner rebuild of z, and the Level-3 eigenvector
+// update. It returns sorted eigenvalues and the updated basis.
+func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense) ([]float64, *matrix.Dense, error) {
+	n := len(dvals)
+
+	// Sort by dvals; gather z and the columns of q in permuted order.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return dvals[perm[a]] < dvals[perm[b]] })
+	ds := make([]float64, n)
+	zs := make([]float64, n)
+	qp := matrix.NewDense(n, n)
+	for j, p := range perm {
+		ds[j] = dvals[p]
+		zs[j] = z[p]
+		copy(qp.Data[j*qp.Stride:j*qp.Stride+n], q.Data[p*q.Stride:p*q.Stride+n])
+	}
+
+	// Deflation thresholds, in the spirit of DLAED2.
+	var dmax, zmax float64
+	for i := 0; i < n; i++ {
+		if a := math.Abs(ds[i]); a > dmax {
+			dmax = a
+		}
+		if a := math.Abs(zs[i]); a > zmax {
+			zmax = a
+		}
+	}
+	tol := 8 * Eps * math.Max(dmax, rho*zmax)
+
+	deflated := make([]bool, n)
+	// Rule 1: negligible z component.
+	for i := 0; i < n; i++ {
+		if rho*math.Abs(zs[i]) <= tol {
+			deflated[i] = true
+		}
+	}
+	// Rule 2: close diagonal entries among survivors — rotate the later one
+	// into the earlier and deflate it.
+	last := -1
+	for i := 0; i < n; i++ {
+		if deflated[i] {
+			continue
+		}
+		if last >= 0 && ds[i]-ds[last] <= tol {
+			zl, zi := zs[last], zs[i]
+			r := math.Hypot(zl, zi)
+			c, s := zl/r, zi/r
+			// Rotate z: survivor keeps r, the later entry deflates with 0.
+			zs[last], zs[i] = r, 0
+			// Diagonal drift stays inside [ds[last], ds[i]].
+			dl, di := ds[last], ds[i]
+			ds[last] = c*c*dl + s*s*di
+			ds[i] = s*s*dl + c*c*di
+			// Rotate the corresponding basis columns: Q ← Q·Gᵀ.
+			colL := qp.Data[last*qp.Stride : last*qp.Stride+n]
+			colI := qp.Data[i*qp.Stride : i*qp.Stride+n]
+			for k := 0; k < n; k++ {
+				l, ii := colL[k], colI[k]
+				colL[k] = c*l + s*ii
+				colI[k] = -s*l + c*ii
+			}
+			deflated[i] = true
+			continue
+		}
+		last = i
+	}
+
+	// Collect survivors.
+	var sidx []int
+	for i := 0; i < n; i++ {
+		if !deflated[i] {
+			sidx = append(sidx, i)
+		}
+	}
+	k := len(sidx)
+
+	type outCol struct {
+		val    float64
+		secIdx int // ≥0: column of the secular update; −1: deflated column
+		defIdx int
+	}
+	outs := make([]outCol, 0, n)
+	for i := 0; i < n; i++ {
+		if deflated[i] {
+			outs = append(outs, outCol{val: ds[i], secIdx: -1, defIdx: i})
+		}
+	}
+
+	var qsec *matrix.Dense
+	if k > 0 {
+		dsec := make([]float64, k)
+		zsec := make([]float64, k)
+		for j, i := range sidx {
+			dsec[j] = ds[i]
+			zsec[j] = zs[i]
+		}
+		bases := make([]int, k)
+		mus := make([]float64, k)
+		for j := 0; j < k; j++ {
+			bases[j], mus[j] = SecularRoot(dsec, zsec, rho, j)
+		}
+		// Gu–Eisenstat: rebuild ẑ from the computed roots via the Löwner
+		// formula so the eigenvectors below are numerically orthogonal.
+		// λ_j − d_i is always formed as (d[base_j] − d_i) + mu_j.
+		zhat := make([]float64, k)
+		for i := 0; i < k; i++ {
+			// ẑ_i² = (λ_i − d_i) · Π_{j≠i} (λ_j − d_i)/(d_j − d_i).
+			prod := (dsec[bases[i]] - dsec[i]) + mus[i]
+			for j := 0; j < k; j++ {
+				if j == i {
+					continue
+				}
+				num := (dsec[bases[j]] - dsec[i]) + mus[j]
+				den := dsec[j] - dsec[i]
+				prod *= num / den
+			}
+			if prod < 0 {
+				// Roundoff near a heavily deflated configuration; clamp.
+				prod = 0
+			}
+			zhat[i] = math.Copysign(math.Sqrt(prod), zsec[i])
+		}
+		// Eigenvector matrix in survivor coordinates: column j has entries
+		// ẑ_i / (d_i − λ_j), normalized.
+		s := matrix.NewDense(k, k)
+		for j := 0; j < k; j++ {
+			col := s.Data[j*s.Stride : j*s.Stride+k]
+			for i := 0; i < k; i++ {
+				den := (dsec[i] - dsec[bases[j]]) - mus[j]
+				col[i] = zhat[i] / den
+			}
+			nrm := blas.Dnrm2(k, col, 1)
+			blas.Dscal(k, 1/nrm, col, 1)
+		}
+		// Level-3 update: Qsec = Qp[:, sidx] · S.
+		qsub := matrix.NewDense(n, k)
+		for j, i := range sidx {
+			copy(qsub.Data[j*qsub.Stride:j*qsub.Stride+n], qp.Data[i*qp.Stride:i*qp.Stride+n])
+		}
+		qsec = matrix.NewDense(n, k)
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, n, k, k, 1,
+			qsub.Data, qsub.Stride, s.Data, s.Stride, 0, qsec.Data, qsec.Stride)
+		for j := 0; j < k; j++ {
+			outs = append(outs, outCol{val: dsec[bases[j]] + mus[j], secIdx: j})
+		}
+	}
+
+	sort.Slice(outs, func(a, b int) bool { return outs[a].val < outs[b].val })
+	vals := make([]float64, n)
+	qout := matrix.NewDense(n, n)
+	for j, oc := range outs {
+		vals[j] = oc.val
+		dst := qout.Data[j*qout.Stride : j*qout.Stride+n]
+		if oc.secIdx >= 0 {
+			copy(dst, qsec.Data[oc.secIdx*qsec.Stride:oc.secIdx*qsec.Stride+n])
+		} else {
+			copy(dst, qp.Data[oc.defIdx*qp.Stride:oc.defIdx*qp.Stride+n])
+		}
+	}
+	return vals, qout, nil
+}

@@ -1,0 +1,94 @@
+package tridiag
+
+import "math"
+
+// SecularRoot solves the secular equation arising in the divide-and-conquer
+// merge step,
+//
+//	f(λ) = 1 + rho · Σ_i z[i]² / (d[i] − λ) = 0,
+//
+// for its k-th root (0-based), where d is strictly increasing and rho > 0.
+// The roots interlace: d[k] < λ_k < d[k+1] for k < n−1 and
+// d[n−1] < λ_{n−1} ≤ d[n−1] + rho·Σz².
+//
+// To avoid catastrophic cancellation the root is returned as a pair
+// (base, mu): λ = d[base] + mu, where base is k or k+1, whichever is closer
+// to the root. Downstream consumers (the Löwner rebuild of ẑ and the
+// eigenvector assembly) must form differences λ − d[i] as
+// (d[base] − d[i]) + mu, never by subtracting recomputed λ values.
+//
+// The root is found by bisection on the monotone branch between the two
+// poles, run to floating-point exhaustion; with the shifted representation
+// this is accurate to machine precision relative to the local gap, which is
+// what the Gu–Eisenstat construction needs.
+func SecularRoot(d, z []float64, rho float64, k int) (base int, mu float64) {
+	n := len(d)
+	if rho <= 0 {
+		panic("tridiag: SecularRoot requires rho > 0")
+	}
+	if k < 0 || k >= n {
+		panic("tridiag: SecularRoot index out of range")
+	}
+	var zsq float64
+	for _, v := range z {
+		zsq += v * v
+	}
+
+	// Choose the shift base: evaluate f at the interval midpoint; f is
+	// increasing between poles, so its sign tells which half the root is in.
+	if k < n-1 {
+		gap := d[k+1] - d[k]
+		fmid := secularEval(d, z, rho, k, gap/2) // f at d[k] + gap/2
+		if fmid >= 0 {
+			// Root in the left half: shift from d[k], mu ∈ (0, gap/2].
+			return k, secularBisect(d, z, rho, k, 0, gap/2, true)
+		}
+		// Root in the right half: shift from d[k+1], mu ∈ [−gap/2, 0).
+		return k + 1, secularBisect(d, z, rho, k+1, -gap/2, 0, false)
+	}
+	// Last root: in (d[n−1], d[n−1] + rho·Σz²].
+	return n - 1, secularBisect(d, z, rho, n-1, 0, rho*zsq+math.SmallestNonzeroFloat64, true)
+}
+
+// secularEval computes f(d[base] + mu) with the shifted differences
+// (d[i] − d[base]) − mu, which are exact near the pole at d[base].
+func secularEval(d, z []float64, rho float64, base int, mu float64) float64 {
+	sum := 1.0
+	for i := range d {
+		del := (d[i] - d[base]) - mu
+		sum += rho * z[i] * z[i] / del
+	}
+	return sum
+}
+
+// secularBisect finds the root of mu ↦ f(d[base]+mu) in (lo, hi) by
+// bisection to floating-point exhaustion. The caller guarantees f(lo⁺) < 0
+// and f(hi⁻) > 0 in exact arithmetic (f is increasing between poles).
+// poleAtLo records which endpoint coincides with the pole at mu = 0, so the
+// returned value never lands exactly on it (downstream code divides by
+// λ − d[base] = mu).
+func secularBisect(d, z []float64, rho float64, base int, lo, hi float64, poleAtLo bool) float64 {
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid <= lo || mid >= hi {
+			break
+		}
+		if secularEval(d, z, rho, base, mid) >= 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	// lo and hi are now adjacent floats (or the bracket was degenerate);
+	// pick the endpoint away from the pole.
+	if poleAtLo {
+		if lo != 0 {
+			return lo
+		}
+		return hi
+	}
+	if hi != 0 {
+		return hi
+	}
+	return lo
+}

@@ -1,0 +1,182 @@
+package tridiag
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// Stein computes eigenvectors of the symmetric tridiagonal matrix (d, e)
+// corresponding to the given eigenvalues (ascending order, e.g. from Stebz)
+// by inverse iteration, reorthogonalizing vectors whose eigenvalues fall in
+// the same cluster (separation below 10⁻³·‖T‖₁, as in LAPACK's DSTEIN).
+// It returns an n×k matrix whose columns are the eigenvectors in the order
+// of w.
+func Stein(d, e []float64, w []float64) (*matrix.Dense, error) {
+	n := len(d)
+	checkTE(d, e)
+	k := len(w)
+	z := matrix.NewDense(n, k)
+	if n == 0 || k == 0 {
+		return z, nil
+	}
+	if n == 1 {
+		z.Set(0, 0, 1)
+		return z, nil
+	}
+
+	onenrm := math.Abs(d[0]) + math.Abs(e[0])
+	for i := 1; i < n; i++ {
+		t := math.Abs(d[i])
+		if i > 0 {
+			t += math.Abs(e[i-1])
+		}
+		if i < n-1 {
+			t += math.Abs(e[i])
+		}
+		if t > onenrm {
+			onenrm = t
+		}
+	}
+	ortol := 1e-3 * onenrm
+	eps3 := Eps * onenrm // smallest useful perturbation scale
+
+	// LU workspace for (T − λI) with partial pivoting: sub, diag, super,
+	// super2 (fill-in), and pivot flags.
+	sub := make([]float64, n)
+	diag := make([]float64, n)
+	sup := make([]float64, n)
+	sup2 := make([]float64, n)
+	swapped := make([]bool, n)
+	x := make([]float64, n)
+
+	rng := newXorshift(0x9E3779B97F4A7C15)
+	clusterStart := 0
+	for j := 0; j < k; j++ {
+		if j > 0 && w[j]-w[j-1] >= ortol {
+			clusterStart = j
+		}
+		lambda := w[j]
+		// Perturb repeated eigenvalues slightly so the factorizations
+		// differ (as DSTEIN does).
+		if j > clusterStart {
+			lambda = w[j] + float64(j-clusterStart)*eps3
+		}
+
+		// Random start vector; the factorization is shift-dependent only,
+		// so compute it once per eigenvalue.
+		for i := 0; i < n; i++ {
+			x[i] = rng.normLike()
+		}
+		luTridiag(d, e, lambda, sub, diag, sup, sup2, swapped, eps3)
+
+		restarts := 0
+		for iter := 0; iter < 5; iter++ {
+			solveLU(n, sub, diag, sup, sup2, swapped, x)
+			// Reorthogonalize against previously computed vectors of the
+			// same cluster.
+			for c := clusterStart; c < j; c++ {
+				col := z.Data[c*z.Stride : c*z.Stride+n]
+				dot := blas.Ddot(n, x, 1, col, 1)
+				blas.Daxpy(n, -dot, col, 1, x, 1)
+			}
+			nrm := blas.Dnrm2(n, x, 1)
+			if nrm == 0 {
+				// Orthogonalization annihilated the iterate; restart with a
+				// fresh random vector.
+				if restarts++; restarts > 8 {
+					return z, ErrNoConvergence
+				}
+				for i := 0; i < n; i++ {
+					x[i] = rng.normLike()
+				}
+				iter = -1
+				continue
+			}
+			blas.Dscal(n, 1/nrm, x, 1)
+		}
+		copy(z.Data[j*z.Stride:j*z.Stride+n], x)
+	}
+	return z, nil
+}
+
+// luTridiag factors T − λI with partial pivoting. The factors are stored in
+// (sub, diag, sup, sup2); swapped[i] records whether rows i and i+1 were
+// exchanged at step i. Zero pivots are replaced by ±eps3 so the subsequent
+// solve never divides by zero (this is the standard inverse-iteration
+// safeguard: the perturbation is below the eigenvalue error anyway).
+func luTridiag(d, e []float64, lambda float64, sub, diag, sup, sup2 []float64, swapped []bool, eps3 float64) {
+	n := len(d)
+	for i := 0; i < n; i++ {
+		diag[i] = d[i] - lambda
+		if i < n-1 {
+			sup[i] = e[i]
+			sub[i] = e[i]
+		}
+		sup2[i] = 0
+	}
+	for i := 0; i < n-1; i++ {
+		if math.Abs(sub[i]) > math.Abs(diag[i]) {
+			// Swap rows i and i+1.
+			swapped[i] = true
+			diag[i], sub[i] = sub[i], diag[i]
+			sup[i], diag[i+1] = diag[i+1], sup[i]
+			if i < n-2 {
+				sup2[i], sup[i+1] = sup[i+1], 0
+			}
+		} else {
+			swapped[i] = false
+		}
+		if diag[i] == 0 {
+			diag[i] = eps3
+		}
+		m := sub[i] / diag[i]
+		sub[i] = m // store multiplier
+		diag[i+1] -= m * sup[i]
+		if i < n-2 {
+			sup[i+1] -= m * sup2[i]
+		}
+	}
+	if diag[n-1] == 0 {
+		diag[n-1] = eps3
+	}
+}
+
+// solveLU solves the factored system in place on b: forward elimination with
+// the recorded row swaps, then back substitution through the two
+// superdiagonals.
+func solveLU(n int, sub, diag, sup, sup2 []float64, swapped []bool, b []float64) {
+	for i := 0; i < n-1; i++ {
+		if swapped[i] {
+			b[i], b[i+1] = b[i+1], b[i]
+		}
+		b[i+1] -= sub[i] * b[i]
+	}
+	b[n-1] /= diag[n-1]
+	if n >= 2 {
+		b[n-2] = (b[n-2] - sup[n-2]*b[n-1]) / diag[n-2]
+	}
+	for i := n - 3; i >= 0; i-- {
+		b[i] = (b[i] - sup[i]*b[i+1] - sup2[i]*b[i+2]) / diag[i]
+	}
+}
+
+// xorshift is a tiny deterministic PRNG so Stein does not depend on
+// math/rand ordering; inverse iteration only needs a start vector that is
+// not orthogonal to the target eigenvector.
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed uint64) *xorshift { return &xorshift{s: seed | 1} }
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}
+
+// normLike returns a roughly zero-mean value in [−1, 1).
+func (x *xorshift) normLike() float64 {
+	return float64(int64(x.next()))/(1<<63)*0.5 + float64(int64(x.next()))/(1<<63)*0.5
+}

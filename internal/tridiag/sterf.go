@@ -1,0 +1,71 @@
+package tridiag
+
+import "math"
+
+// Sterf computes all eigenvalues of the symmetric tridiagonal matrix (d, e)
+// by the implicit QL method without accumulating transformations (imtql1;
+// same role as LAPACK's DSTERF). On return d holds the eigenvalues in
+// ascending order and e is destroyed.
+func Sterf(d, e []float64) error {
+	n := len(d)
+	checkTE(d, e)
+	if n <= 1 {
+		return nil
+	}
+	// Same scratch convention as Steqr: the sweep writes e[m] with m up to
+	// n−1, so work on an n-length copy.
+	ework := make([]float64, n)
+	copy(ework, e[:n-1])
+	e = ework
+	const maxIter = 80
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= Eps*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > maxIter {
+				return ErrNoConvergence
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	sortEigen(d, nil)
+	return nil
+}

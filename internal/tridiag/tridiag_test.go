@@ -1,0 +1,662 @@
+package tridiag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// laplacian121 returns the 1-2-1 tridiagonal matrix whose eigenvalues are
+// known analytically: λ_k = 2 + 2·cos(kπ/(n+1)), k = 1..n.
+func laplacian121(n int) (d, e []float64) {
+	d = make([]float64, n)
+	e = make([]float64, n-1)
+	for i := range d {
+		d[i] = 2
+	}
+	for i := range e {
+		e[i] = 1
+	}
+	return
+}
+
+func analytic121(n int) []float64 {
+	vals := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		// Ascending order: cos decreasing in k, so reverse.
+		vals[n-k] = 2 + 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+	}
+	return vals
+}
+
+// wilkinson returns the Wilkinson W_n^+ matrix (n odd): d = |i − (n−1)/2|
+// reversed shape, e = 1. Its upper eigenvalues come in notoriously close
+// pairs — a classic stress test for deflation and orthogonality.
+func wilkinson(n int) (d, e []float64) {
+	d = make([]float64, n)
+	e = make([]float64, n-1)
+	m := (n - 1) / 2
+	for i := range d {
+		d[i] = math.Abs(float64(i - m))
+	}
+	for i := range e {
+		e[i] = 1
+	}
+	return
+}
+
+func randTridiag(rng *rand.Rand, n int) (d, e []float64) {
+	d = make([]float64, n)
+	e = make([]float64, max(0, n-1))
+	for i := range d {
+		d[i] = rng.NormFloat64() * 3
+	}
+	for i := range e {
+		e[i] = rng.NormFloat64()
+	}
+	return
+}
+
+// residualT computes max_k ‖T v_k − λ_k v_k‖₂ for the tridiagonal T.
+func residualT(d, e, vals []float64, z *matrix.Dense) float64 {
+	n := len(d)
+	var worst float64
+	for k := 0; k < z.Cols; k++ {
+		col := z.Data[k*z.Stride : k*z.Stride+n]
+		var ss float64
+		for i := 0; i < n; i++ {
+			r := d[i] * col[i]
+			if i > 0 {
+				r += e[i-1] * col[i-1]
+			}
+			if i < n-1 {
+				r += e[i] * col[i+1]
+			}
+			r -= vals[k] * col[i]
+			ss += r * r
+		}
+		if s := math.Sqrt(ss); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// orthoError returns ‖ZᵀZ − I‖_max.
+func orthoError(z *matrix.Dense) float64 {
+	n, k := z.Rows, z.Cols
+	var worst float64
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			dot := blas.Ddot(n, z.Data[a*z.Stride:], 1, z.Data[b*z.Stride:], 1)
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if d := math.Abs(dot - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func scaleOf(d, e []float64) float64 {
+	s := maxAbsBound(d, e)
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+func TestSteqr121Analytic(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 10, 50, 121} {
+		d, e := laplacian121(n)
+		z := matrix.Eye(n)
+		if err := Steqr(d, e, z); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := analytic121(n)
+		for i := range want {
+			if math.Abs(d[i]-want[i]) > 1e-12*float64(n) {
+				t.Fatalf("n=%d: eigenvalue %d = %.15g, want %.15g", n, i, d[i], want[i])
+			}
+		}
+		d2, e2 := laplacian121(n)
+		if r := residualT(d2, e2, d, z); r > 1e-12*float64(n) {
+			t.Fatalf("n=%d: residual %g", n, r)
+		}
+		if o := orthoError(z); o > 1e-13*float64(n) {
+			t.Fatalf("n=%d: orthogonality error %g", n, o)
+		}
+	}
+}
+
+func TestSteqrRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 7, 33, 100} {
+		d, e := randTridiag(rng, n)
+		d0 := append([]float64(nil), d...)
+		e0 := append([]float64(nil), e...)
+		z := matrix.Eye(n)
+		if err := Steqr(d, e, z); err != nil {
+			t.Fatal(err)
+		}
+		scale := scaleOf(d0, e0)
+		if r := residualT(d0, e0, d, z); r > 1e-13*scale*float64(n) {
+			t.Fatalf("n=%d: residual %g", n, r)
+		}
+		if o := orthoError(z); o > 1e-13*float64(n) {
+			t.Fatalf("n=%d: ortho %g", n, o)
+		}
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if d[i] < d[i-1] {
+				t.Fatalf("n=%d: eigenvalues not sorted", n)
+			}
+		}
+	}
+}
+
+func TestSteqrTransformsExistingBasis(t *testing.T) {
+	// Passing a non-identity basis B must yield B·E where E are the
+	// eigenvectors computed from the identity start.
+	rng := rand.New(rand.NewSource(12))
+	n := 20
+	d, e := randTridiag(rng, n)
+	dA := append([]float64(nil), d...)
+	eA := append([]float64(nil), e...)
+	zI := matrix.Eye(n)
+	if err := Steqr(dA, eA, zI); err != nil {
+		t.Fatal(err)
+	}
+	b := matrix.NewDense(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	dB := append([]float64(nil), d...)
+	eB := append([]float64(nil), e...)
+	zB := b.Clone()
+	if err := Steqr(dB, eB, zB); err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.NewDense(n, n)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, b.Data, b.Stride, zI.Data, zI.Stride, 0, want.Data, want.Stride)
+	// Columns may differ by sign only if eigenvalues are distinct and the
+	// rotation sequence is identical — it is, since d,e identical. Direct
+	// comparison is valid.
+	if !zB.Equalish(want, 1e-10) {
+		t.Fatal("Steqr with basis B != B · Steqr with identity")
+	}
+}
+
+func TestSterfMatchesSteqr(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 17, 64} {
+		d, e := randTridiag(rng, n)
+		d1 := append([]float64(nil), d...)
+		e1 := append([]float64(nil), e...)
+		d2 := append([]float64(nil), d...)
+		e2 := append([]float64(nil), e...)
+		if err := Sterf(d1, e1); err != nil {
+			t.Fatal(err)
+		}
+		if err := Steqr(d2, e2, nil); err != nil {
+			t.Fatal(err)
+		}
+		scale := scaleOf(d, e)
+		for i := 0; i < n; i++ {
+			if math.Abs(d1[i]-d2[i]) > 1e-12*scale*float64(n) {
+				t.Fatalf("n=%d: Sterf[%d]=%g vs Steqr %g", n, i, d1[i], d2[i])
+			}
+		}
+	}
+}
+
+func TestSturmCountMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d, e := randTridiag(rng, 40)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return SturmCount(d, e, a) <= SturmCount(d, e, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Count below the spectrum is 0, above is n.
+	bound := maxAbsBound(d, e) + 1
+	if SturmCount(d, e, -bound) != 0 {
+		t.Fatal("count below spectrum != 0")
+	}
+	if SturmCount(d, e, bound) != 40 {
+		t.Fatal("count above spectrum != n")
+	}
+}
+
+func TestStebzMatchesSteqr(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{1, 5, 30, 80} {
+		d, e := randTridiag(rng, n)
+		dq := append([]float64(nil), d...)
+		eq := append([]float64(nil), e...)
+		if err := Steqr(dq, eq, nil); err != nil {
+			t.Fatal(err)
+		}
+		w := Stebz(d, e, 1, n)
+		scale := scaleOf(d, e)
+		for i := 0; i < n; i++ {
+			if math.Abs(w[i]-dq[i]) > 1e-11*scale {
+				t.Fatalf("n=%d: Stebz[%d]=%.15g vs Steqr %.15g", n, i, w[i], dq[i])
+			}
+		}
+	}
+}
+
+func TestStebzSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	n := 50
+	d, e := randTridiag(rng, n)
+	all := Stebz(d, e, 1, n)
+	sub := Stebz(d, e, 11, 20)
+	for i := 0; i < 10; i++ {
+		if math.Abs(sub[i]-all[10+i]) > 1e-12*scaleOf(d, e) {
+			t.Fatalf("subset eigenvalue %d mismatch", i)
+		}
+	}
+}
+
+func TestStebzRange(t *testing.T) {
+	d, e := laplacian121(30)
+	vals, first := StebzRange(d, e, 1.0, 3.0)
+	// All returned values must lie in (1, 3].
+	for _, v := range vals {
+		if v <= 1.0-1e-10 || v > 3.0+1e-10 {
+			t.Fatalf("value %g outside (1,3]", v)
+		}
+	}
+	// Cross-check count against the analytic spectrum.
+	var want int
+	firstWant := 1
+	for _, v := range analytic121(30) {
+		if v > 1 && v <= 3 {
+			want++
+		}
+		if v <= 1 {
+			firstWant++
+		}
+	}
+	if len(vals) != want || first != firstWant {
+		t.Fatalf("range: got %d values starting at %d, want %d at %d", len(vals), first, want, firstWant)
+	}
+}
+
+func TestSteinResidualAndOrtho(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{2, 10, 60} {
+		d, e := randTridiag(rng, n)
+		w := Stebz(d, e, 1, n)
+		z, err := Stein(d, e, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := scaleOf(d, e)
+		if r := residualT(d, e, w, z); r > 1e-10*scale*float64(n) {
+			t.Fatalf("n=%d: Stein residual %g", n, r)
+		}
+		if o := orthoError(z); o > 1e-10*float64(n) {
+			t.Fatalf("n=%d: Stein ortho %g", n, o)
+		}
+	}
+}
+
+func TestSteinWilkinsonClusters(t *testing.T) {
+	// W21+ has eigenvalue pairs agreeing to ~1e-15; inverse iteration
+	// without reorthogonalization would return parallel vectors.
+	n := 21
+	d, e := wilkinson(n)
+	w := Stebz(d, e, 1, n)
+	z, err := Stein(d, e, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := orthoError(z); o > 1e-8 {
+		t.Fatalf("Wilkinson ortho error %g: cluster reorthogonalization failed", o)
+	}
+	if r := residualT(d, e, w, z); r > 1e-10*float64(n) {
+		t.Fatalf("Wilkinson residual %g", r)
+	}
+}
+
+func TestSteinSubsetVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	n := 40
+	d, e := randTridiag(rng, n)
+	w := Stebz(d, e, 5, 14) // 10 eigenpairs from the interior
+	z, err := Stein(d, e, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Cols != 10 {
+		t.Fatalf("expected 10 vectors, got %d", z.Cols)
+	}
+	if r := residualT(d, e, w, z); r > 1e-10*scaleOf(d, e)*float64(n) {
+		t.Fatalf("subset residual %g", r)
+	}
+}
+
+func TestSecularRootInterlacing(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		d := make([]float64, n)
+		z := make([]float64, n)
+		d[0] = rng.NormFloat64()
+		for i := 1; i < n; i++ {
+			d[i] = d[i-1] + 0.1 + rng.Float64() // strictly increasing
+		}
+		for i := range z {
+			z[i] = rng.NormFloat64()
+			if math.Abs(z[i]) < 1e-3 {
+				z[i] = 1e-3
+			}
+		}
+		rho := 0.1 + rng.Float64()
+		var zsq float64
+		for _, v := range z {
+			zsq += v * v
+		}
+		for k := 0; k < n; k++ {
+			base, mu := SecularRoot(d, z, rho, k)
+			lam := d[base] + mu
+			lo := d[k]
+			hi := d[k] + rho*zsq + 1e-12
+			if k < n-1 {
+				hi = d[k+1]
+			}
+			if !(lam > lo && lam <= hi) {
+				t.Logf("seed %d root %d: λ=%g not in (%g, %g]", seed, k, lam, lo, hi)
+				return false
+			}
+			// Residual check: f(λ) ≈ 0.
+			fval := secularEval(d, z, rho, base, mu)
+			// f'(λ) ≥ rho·z_k²/gap² can be huge; just require the bisection
+			// interval collapsed: |f| should change sign within a few ulps.
+			next := math.Nextafter(mu, math.Inf(1))
+			fnext := secularEval(d, z, rho, base, next)
+			if fval != 0 && fnext != 0 && math.Signbit(fval) == math.Signbit(fnext) {
+				// Allow: mu at the other side boundary.
+				prev := math.Nextafter(mu, math.Inf(-1))
+				fprev := secularEval(d, z, rho, base, prev)
+				if math.Signbit(fprev) == math.Signbit(fval) {
+					t.Logf("seed %d root %d: no sign change around root", seed, k)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStedcMatchesSteqr(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{1, 2, 16, 33, 64, 100, 150} {
+		d, e := randTridiag(rng, n)
+		vals, q, err := Stedc(d, e)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		dq := append([]float64(nil), d...)
+		eq := append([]float64(nil), e...)
+		if err := Steqr(dq, eq, nil); err != nil {
+			t.Fatal(err)
+		}
+		scale := scaleOf(d, e)
+		for i := 0; i < n; i++ {
+			if math.Abs(vals[i]-dq[i]) > 1e-12*scale*float64(n) {
+				t.Fatalf("n=%d: Stedc val[%d]=%.15g vs Steqr %.15g", n, i, vals[i], dq[i])
+			}
+		}
+		if r := residualT(d, e, vals, q); r > 1e-12*scale*float64(n) {
+			t.Fatalf("n=%d: Stedc residual %g", n, r)
+		}
+		if o := orthoError(q); o > 1e-12*float64(n) {
+			t.Fatalf("n=%d: Stedc ortho %g", n, o)
+		}
+	}
+}
+
+func TestStedc121AndWilkinson(t *testing.T) {
+	// 1-2-1: massive deflation candidates (uniform structure).
+	n := 121
+	d, e := laplacian121(n)
+	vals, q, err := Stedc(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analytic121(n)
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-11 {
+			t.Fatalf("121 eigenvalue %d: %.15g want %.15g", i, vals[i], want[i])
+		}
+	}
+	if o := orthoError(q); o > 1e-11 {
+		t.Fatalf("121 ortho %g", o)
+	}
+	// Wilkinson: clustered pairs stress the deflation logic.
+	wd, we := wilkinson(101)
+	vals, q, err = Stedc(wd, we)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residualT(wd, we, vals, q); r > 1e-11*101 {
+		t.Fatalf("Wilkinson residual %g", r)
+	}
+	if o := orthoError(q); o > 1e-11 {
+		t.Fatalf("Wilkinson ortho %g", o)
+	}
+}
+
+func TestStedcDecoupled(t *testing.T) {
+	// Zero coupling in the middle exercises the block-diagonal path.
+	n := 80
+	rng := rand.New(rand.NewSource(20))
+	d, e := randTridiag(rng, n)
+	e[n/2-1] = 0
+	e[10] = 0
+	vals, q, err := Stedc(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := scaleOf(d, e)
+	if r := residualT(d, e, vals, q); r > 1e-12*scale*float64(n) {
+		t.Fatalf("decoupled residual %g", r)
+	}
+	if o := orthoError(q); o > 1e-12*float64(n) {
+		t.Fatalf("decoupled ortho %g", o)
+	}
+}
+
+func TestStedcIdenticalDiagonal(t *testing.T) {
+	// d constant, e constant: extreme deflation pressure in every merge.
+	n := 90
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = 5
+	}
+	for i := range e {
+		e[i] = 1e-3
+	}
+	vals, q, err := Stedc(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residualT(d, e, vals, q); r > 1e-12*float64(n)*5 {
+		t.Fatalf("residual %g", r)
+	}
+	if o := orthoError(q); o > 1e-12*float64(n) {
+		t.Fatalf("ortho %g", o)
+	}
+}
+
+func TestEigenSumInvariantsProperty(t *testing.T) {
+	// Trace and Frobenius norm are preserved by every solver.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		d, e := randTridiag(rng, n)
+		var trace, frob float64
+		for _, v := range d {
+			trace += v
+			frob += v * v
+		}
+		for _, v := range e {
+			frob += 2 * v * v
+		}
+		vals, _, err := Stedc(d, e)
+		if err != nil {
+			return false
+		}
+		var tr2, fr2 float64
+		for _, v := range vals {
+			tr2 += v
+			fr2 += v * v
+		}
+		scale := scaleOf(d, e)
+		return math.Abs(trace-tr2) <= 1e-11*scale*float64(n) &&
+			math.Abs(frob-fr2) <= 1e-10*scale*scale*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroMatrix(t *testing.T) {
+	n := 10
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	vals, q, err := Stedc(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if v != 0 {
+			t.Fatalf("zero matrix eigenvalue %g", v)
+		}
+	}
+	if o := orthoError(q); o > 1e-14 {
+		t.Fatalf("zero matrix ortho %g", o)
+	}
+}
+
+func TestGradedMatrix(t *testing.T) {
+	// Strongly graded diagonal (d_i = 10^{-i}) — a classic accuracy stress:
+	// trace/Frobenius invariants and cross-method agreement must survive.
+	n := 24
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = math.Pow(10, -float64(i)/2)
+	}
+	for i := range e {
+		e[i] = 1e-4 * d[i]
+	}
+	vals, q, err := Stedc(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq := append([]float64(nil), d...)
+	eq := append([]float64(nil), e...)
+	if err := Steqr(dq, eq, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(vals[i]-dq[i]) > 1e-13 {
+			t.Fatalf("graded eigenvalue %d: D&C %g vs QR %g", i, vals[i], dq[i])
+		}
+	}
+	if o := orthoError(q); o > 1e-12*float64(n) {
+		t.Fatalf("graded ortho %g", o)
+	}
+}
+
+func TestReversedAndNegativeSpectra(t *testing.T) {
+	// Negating T negates and reverses the spectrum.
+	rng := rand.New(rand.NewSource(21))
+	n := 40
+	d, e := randTridiag(rng, n)
+	v1, _, err := Stedc(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dneg := make([]float64, n)
+	eneg := make([]float64, n-1)
+	for i := range d {
+		dneg[i] = -d[i]
+	}
+	for i := range e {
+		eneg[i] = -e[i]
+	}
+	v2, _, err := Stedc(dneg, eneg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := scaleOf(d, e)
+	for i := 0; i < n; i++ {
+		if math.Abs(v2[i]+v1[n-1-i]) > 1e-12*scale*float64(n) {
+			t.Fatalf("negated spectrum mismatch at %d: %g vs %g", i, v2[i], -v1[n-1-i])
+		}
+	}
+}
+
+func TestSteinDuplicateEigenvalueInputs(t *testing.T) {
+	// Passing exactly equal eigenvalues (as bisection can produce for tight
+	// clusters) must still give orthogonal vectors via the perturbation +
+	// reorthogonalization path.
+	n := 12
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = 2
+	}
+	for i := range e {
+		e[i] = 1e-14
+	}
+	w := []float64{2, 2, 2} // three numerically identical eigenvalues
+	z, err := Stein(d, e, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := orthoError(z); o > 1e-8 {
+		t.Fatalf("duplicate-eigenvalue ortho %g", o)
+	}
+}
+
+func TestStebzDegenerate(t *testing.T) {
+	if got := Stebz(nil, nil, 1, 0); got != nil {
+		// n = 0 returns nil regardless of indices.
+		t.Fatalf("empty Stebz returned %v", got)
+	}
+	d := []float64{5}
+	if got := Stebz(d, nil, 1, 1); len(got) != 1 || math.Abs(got[0]-5) > 1e-12 {
+		t.Fatalf("1x1 Stebz = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range should panic")
+		}
+	}()
+	Stebz([]float64{1, 2}, []float64{0}, 2, 1)
+}
