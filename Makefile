@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench-reuse
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full pre-merge gate: build, vet, and the race-enabled test suite.
+check:
+	./scripts/check.sh
+
+# The reusable-Solver experiment (steady-state allocations vs one-shot).
+bench-reuse:
+	$(GO) run ./cmd/eigbench -exp reuse
+	$(GO) test -run '^$$' -bench 'BenchmarkSolverReuse|BenchmarkEigOneShot' -benchmem .

@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|reuse|all")
 		sizes   = flag.String("sizes", "", "comma-separated matrix sizes for sweeps (default 128,256,384,512)")
 		n       = flag.Int("n", 512, "matrix size for single-size experiments")
 		nb      = flag.Int("nb", 32, "tile size where applicable")
 		workers = flag.Int("workers", 0, "scheduler workers (0 = sequential)")
+		reuse   = flag.Bool("reuse", false, "also run the reusable-Solver experiment (same as -exp reuse)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,9 @@ func main() {
 	if run("ablate-sched") {
 		show(bench.AblationStage2Cores(*n, *nb, []int{1, 2, 4}))
 		show(bench.AblationStage1Sched(*n, *nb, []int{1, 2, 4}))
+	}
+	if *reuse || run("reuse") {
+		show(reuseTable(min(*n, 512), *nb, *workers, 4))
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "eigbench: unknown experiment %q (see -h)\n", *exp)

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	eigen "repro"
+	"repro/internal/bench"
+)
+
+// ReuseTable measures the payoff of the reusable Solver: per-solve wall time
+// and heap allocations for (a) one-shot eigen.Eig calls, which build and
+// tear down a transient Solver each time, and (b) a warmed Solver writing
+// into a caller-supplied destination via EigTo, which reuses the pooled
+// workspace arena and persistent scheduler across solves.
+func reuseTable(n, nb, workers, iters int) *bench.Table {
+	if iters <= 0 {
+		iters = 4
+	}
+	rng := rand.New(rand.NewSource(99))
+	a := eigen.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			a.SetSym(i, j, rng.NormFloat64())
+		}
+	}
+	opts := &eigen.Options{NB: nb, Workers: workers, SkipSymmetryCheck: true}
+
+	measure := func(solve func() error) (time.Duration, float64, float64) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := solve(); err != nil {
+				panic(err)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		per := float64(iters)
+		return elapsed / time.Duration(iters),
+			float64(after.Mallocs-before.Mallocs) / per,
+			float64(after.TotalAlloc-before.TotalAlloc) / per
+	}
+
+	oneTime, oneAllocs, oneBytes := measure(func() error {
+		_, err := eigen.Eig(a, opts)
+		return err
+	})
+
+	s := eigen.NewSolver(opts)
+	defer s.Close()
+	dst := eigen.NewMatrix(n)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ { // reach workspace steady state
+		if _, err := s.EigTo(ctx, a, dst); err != nil {
+			panic(err)
+		}
+	}
+	reuseTime, reuseAllocs, reuseBytes := measure(func() error {
+		_, err := s.EigTo(ctx, a, dst)
+		return err
+	})
+
+	t := &bench.Table{
+		Name:    fmt.Sprintf("Solver reuse vs one-shot (n=%d, nb=%d, workers=%d, %d solves)", n, nb, workers, iters),
+		Headers: []string{"mode", "ms/solve", "allocs/solve", "KiB/solve"},
+		Rows: [][]string{
+			{"one-shot Eig", fmt.Sprintf("%.2f", oneTime.Seconds()*1e3), fmt.Sprintf("%.0f", oneAllocs), fmt.Sprintf("%.1f", oneBytes/1024)},
+			{"Solver.EigTo (warmed)", fmt.Sprintf("%.2f", reuseTime.Seconds()*1e3), fmt.Sprintf("%.0f", reuseAllocs), fmt.Sprintf("%.1f", reuseBytes/1024)},
+		},
+	}
+	if reuseAllocs > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("allocation reduction %.0f×; the pooled arena retains every workspace between solves", oneAllocs/reuseAllocs))
+	}
+	return t
+}

@@ -79,6 +79,12 @@ type Options struct {
 	// Group is the number of bulge-chasing sweeps aggregated into one
 	// diamond block when applying Q₂; 0 picks the bandwidth.
 	Group int
+	// SkipSymmetryCheck disables the O(n²) input-symmetry validation. The
+	// solver then trusts the caller: a non-symmetric input yields the
+	// spectrum of an unspecified nearby matrix rather than an error. Use it
+	// when matrices are constructed symmetric by design and the solve is
+	// latency-critical.
+	SkipSymmetryCheck bool
 	// Collector, when non-nil, receives per-phase timings and per-kernel
 	// flop counts.
 	Collector *trace.Collector
@@ -124,17 +130,20 @@ type Result struct {
 }
 
 // Eig computes all eigenvalues and eigenvectors of the symmetric matrix a.
+// Each call is one-shot: it builds a transient Solver, solves, and tears it
+// down. Code that solves repeatedly should hold a Solver instead to reuse
+// its workers and workspace.
 func Eig(a *Matrix, opts *Options) (*Result, error) {
-	return solve(a, opts, true, 0, 0)
+	s := NewSolver(opts)
+	defer s.Close()
+	return s.Eig(a)
 }
 
 // EigValues computes all eigenvalues of a (no vectors).
 func EigValues(a *Matrix, opts *Options) ([]float64, error) {
-	res, err := solve(a, opts, false, 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	return res.Values, nil
+	s := NewSolver(opts)
+	defer s.Close()
+	return s.EigValues(a)
 }
 
 // EigRange computes eigenpairs il through iu (1-based, ascending,
@@ -143,50 +152,16 @@ func EigValues(a *Matrix, opts *Options) ([]float64, error) {
 // computed; the other methods compute the full decomposition and return the
 // slice.
 func EigRange(a *Matrix, il, iu int, opts *Options) (*Result, error) {
-	if il < 1 || iu < il {
-		return nil, fmt.Errorf("eigen: invalid range [%d, %d]", il, iu)
-	}
-	return solve(a, opts, true, il, iu)
+	s := NewSolver(opts)
+	defer s.Close()
+	return s.EigRange(a, il, iu)
 }
 
 // EigValuesRange computes eigenvalues il through iu only.
 func EigValuesRange(a *Matrix, il, iu int, opts *Options) ([]float64, error) {
-	if il < 1 || iu < il {
-		return nil, fmt.Errorf("eigen: invalid range [%d, %d]", il, iu)
-	}
-	res, err := solve(a, opts, false, il, iu)
-	if err != nil {
-		return nil, err
-	}
-	return res.Values, nil
-}
-
-func solve(a *Matrix, opts *Options, vectors bool, il, iu int) (*Result, error) {
-	if a == nil {
-		return nil, fmt.Errorf("eigen: nil matrix")
-	}
-	if a.r != a.c {
-		return nil, fmt.Errorf("eigen: matrix must be square, got %d×%d", a.r, a.c)
-	}
-	if !a.dense().IsSymmetric(symTol * a.dense().MaxAbs()) {
-		return nil, fmt.Errorf("eigen: matrix is not symmetric (tolerance %g·max|a|)", symTol)
-	}
-	co := opts.toCore(vectors, il, iu)
-	var cres *core.Result
-	var err error
-	if opts.algorithm() == OneStage {
-		cres, err = core.SyevOneStage(a.dense(), co)
-	} else {
-		cres, err = core.SyevTwoStage(a.dense(), co)
-	}
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Values: cres.Values}
-	if cres.Vectors != nil {
-		res.Vectors = fromDense(cres.Vectors)
-	}
-	return res, nil
+	s := NewSolver(opts)
+	defer s.Close()
+	return s.EigValuesRange(a, il, iu)
 }
 
 // symTol is the relative asymmetry allowed in the input before Eig refuses
@@ -224,7 +199,15 @@ func NewMatrixFrom(n int, rowMajor []float64) *Matrix {
 	return m
 }
 
+// fromDense wraps a solver-owned result matrix as a Matrix. A contiguous
+// column-major matrix (stride == rows) is adopted without copying — the
+// solvers hand over freshly allocated, caller-owned storage, so the extra
+// copy the old code made here was pure waste. Strided views still copy.
 func fromDense(d *matrix.Dense) *Matrix {
+	if d.Stride == d.Rows || d.Rows == 0 || d.Cols <= 1 {
+		n := d.Rows * d.Cols
+		return &Matrix{r: d.Rows, c: d.Cols, data: d.Data[:n:n]}
+	}
 	m := &Matrix{r: d.Rows, c: d.Cols, data: make([]float64, d.Rows*d.Cols)}
 	for j := 0; j < d.Cols; j++ {
 		copy(m.data[j*m.r:j*m.r+m.r], d.Data[j*d.Stride:j*d.Stride+d.Rows])

@@ -21,6 +21,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/work"
 )
 
 // defaultGroup picks the diamond width for a chase bandwidth b. Wider
@@ -51,9 +52,13 @@ type diamond struct {
 
 // Plan precomputes the diamond blocks of Q₂ for a chase result, so repeated
 // applications (e.g. to different eigenvector sets) skip the aggregation.
+// A Plan built with a workspace arena borrows arena storage (the V/T slab,
+// the block list) and is only valid until the arena is recycled.
 type Plan struct {
-	n      int
-	group  int
+	n     int
+	group int
+	maxK  int // widest diamond (bounds the Larfb workspace)
+	ws    *work.Arena
 	// blocks in application order for Q₂·E (valid DAG linearization:
 	// sweep-group descending, level ascending within a group).
 	blocks []diamond
@@ -61,26 +66,39 @@ type Plan struct {
 	refs []bulge.Reflector
 }
 
+// planCache is the retained per-arena aggregation scratch: the Plan header,
+// the (sweep, level) lattice index and the block list backing array.
+type planCache struct {
+	plan   Plan
+	idx    []int32
+	blocks []diamond
+	tau    []float64
+}
+
 // NewPlan builds the diamond decomposition of Q₂ with the given group size
-// (≤ 0 picks a bandwidth-dependent default).
-func NewPlan(res *bulge.Result, group int) *Plan {
+// (≤ 0 picks a bandwidth-dependent default). ws may be nil.
+func NewPlan(res *bulge.Result, group int, ws *work.Arena) *Plan {
 	if group <= 0 {
 		group = defaultGroup(res.B)
 	}
 	if group < 1 {
 		group = 1
 	}
-	p := &Plan{n: res.N, group: group, refs: res.Refs}
+	cache, _ := ws.Value(work.BacktransPlan).(*planCache)
+	if cache == nil {
+		cache = &planCache{} // nil ws: fresh each call, SetValue is a no-op
+		ws.SetValue(work.BacktransPlan, cache)
+	}
+	p := &cache.plan
+	*p = Plan{n: res.N, group: group, refs: res.Refs, ws: ws}
 	if len(res.Refs) == 0 {
 		return p
 	}
-	// Index reflectors by (sweep, level).
+
+	// Index reflectors on the (sweep, level) lattice.
 	maxSweep, maxLevel := 0, 0
-	type key struct{ s, l int }
-	byKey := make(map[key]*bulge.Reflector, len(res.Refs))
 	for i := range res.Refs {
 		r := &res.Refs[i]
-		byKey[key{r.Sweep, r.Level}] = r
 		if r.Sweep > maxSweep {
 			maxSweep = r.Sweep
 		}
@@ -88,61 +106,114 @@ func NewPlan(res *bulge.Result, group int) *Plan {
 			maxLevel = r.Level
 		}
 	}
+	nl := maxLevel + 1
+	idxLen := (maxSweep + 1) * nl
+	if cap(cache.idx) < idxLen {
+		cache.idx = make([]int32, idxLen)
+	}
+	idx := cache.idx[:idxLen]
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i := range res.Refs {
+		r := &res.Refs[i]
+		idx[r.Sweep*nl+r.Level] = int32(i)
+	}
+	at := func(s, l int) *bulge.Reflector {
+		if i := idx[s*nl+l]; i >= 0 {
+			return &res.Refs[i]
+		}
+		return nil
+	}
+
+	// diamondShape measures group j, level l without building it: the row
+	// span and reflector count of the aggregated block.
 	ng := maxSweep/group + 1
-	// Application order for Q₂·E: group index j descending, level ascending.
-	for j := ng - 1; j >= 0; j-- {
-		for l := 0; l <= maxLevel; l++ {
-			var members []*bulge.Reflector
-			lo, hi := j*group, min((j+1)*group, maxSweep+1)
-			for s2 := lo; s2 < hi; s2++ {
-				if r, ok := byKey[key{s2, l}]; ok {
-					members = append(members, r)
-				}
-			}
-			if len(members) == 0 {
+	diamondShape := func(j, l int) (lo, rowStart, rows, k int) {
+		lo = j * group
+		hi := min(lo+group, maxSweep+1)
+		rowStart, rowEnd := -1, 0
+		for s2 := lo; s2 < hi; s2++ {
+			r := at(s2, l)
+			if r == nil {
 				continue
 			}
-			p.blocks = append(p.blocks, buildDiamond(lo, members))
+			if rowStart < 0 {
+				rowStart = r.Row - (r.Sweep - lo)
+			}
+			if c := r.Sweep - lo; c+1 > k {
+				k = c + 1
+			}
+			if end := r.Row + len(r.V); end+1 > rowEnd {
+				rowEnd = end + 1
+			}
 		}
+		if k > 0 {
+			rows = rowEnd - rowStart
+		}
+		return
 	}
-	return p
-}
 
-// buildDiamond packs the member reflectors (sweeps lo..) of one level into
-// a shifted compact-WY block. Column c corresponds to sweep lo+c; its
-// implicit 1 sits at local row (sweep − lo) because consecutive sweeps
-// shift down by exactly one row (Figure 3b).
-func buildDiamond(lo int, members []*bulge.Reflector) diamond {
-	rowStart := members[0].Row - (members[0].Sweep - lo)
-	k := 0
-	rowEnd := rowStart
-	for _, r := range members {
-		c := r.Sweep - lo
-		if c+1 > k {
-			k = c + 1
-		}
-		if end := r.Row + len(r.V); end+1 > rowEnd {
-			rowEnd = end + 1
+	// First pass: count blocks and size the V/T slab exactly.
+	nBlocks, slabCap := 0, 0
+	for j := ng - 1; j >= 0; j-- {
+		for l := 0; l < nl; l++ {
+			_, _, rows, k := diamondShape(j, l)
+			if k == 0 {
+				continue
+			}
+			nBlocks++
+			slabCap += rows*k + k*k
 		}
 	}
-	rows := rowEnd - rowStart
-	d := diamond{rowStart: rowStart, rows: rows, k: k}
-	d.v = make([]float64, rows*k)
-	tau := make([]float64, k)
-	for _, r := range members {
-		c := r.Sweep - lo
-		local := r.Row - rowStart
-		if local != c {
-			// The lattice guarantees a one-row shift per sweep; anything
-			// else is a logic error upstream.
-			panic("backtransform: reflector off the diamond lattice")
-		}
-		tau[c] = r.Tau
-		copy(d.v[local+1+c*rows:], r.V)
+	slab := ws.SlabOf(work.BacktransSlab, slabCap)
+	if cap(cache.blocks) < nBlocks {
+		cache.blocks = make([]diamond, 0, nBlocks)
 	}
-	d.t = make([]float64, k*k)
-	householder.Larft(rows, k, d.v, rows, tau, d.t, k)
-	return d
+	if cap(cache.tau) < group {
+		cache.tau = make([]float64, group)
+	}
+
+	// Second pass: build the diamonds in application order for Q₂·E
+	// (group index j descending, level ascending).
+	blocks := cache.blocks[:0]
+	for j := ng - 1; j >= 0; j-- {
+		for l := 0; l < nl; l++ {
+			lo, rowStart, rows, k := diamondShape(j, l)
+			if k == 0 {
+				continue
+			}
+			d := diamond{rowStart: rowStart, rows: rows, k: k}
+			d.v = slab.Take(rows * k)
+			d.t = slab.Take(k * k)
+			tau := cache.tau[:k]
+			clear(tau)
+			hi := min(lo+group, maxSweep+1)
+			for s2 := lo; s2 < hi; s2++ {
+				r := at(s2, l)
+				if r == nil {
+					continue
+				}
+				c := r.Sweep - lo
+				local := r.Row - rowStart
+				if local != c {
+					// The lattice guarantees a one-row shift per sweep;
+					// anything else is a logic error upstream.
+					panic("backtransform: reflector off the diamond lattice")
+				}
+				tau[c] = r.Tau
+				copy(d.v[local+1+c*rows:], r.V)
+			}
+			householder.Larft(rows, k, d.v, rows, tau, d.t, k)
+			blocks = append(blocks, d)
+			if k > p.maxK {
+				p.maxK = k
+			}
+		}
+	}
+	cache.blocks = blocks
+	p.blocks = blocks
+	return p
 }
 
 // NumBlocks reports how many diamond blocks the plan holds.
@@ -166,44 +237,51 @@ func (p *Plan) OverlapEdges() int {
 
 // Apply computes E := Q₂·E using the diamond blocks. E is partitioned into
 // column blocks of width colBlock (≤ 0 → 64) and each block is one task:
-// with a scheduler the blocks run concurrently on distinct workers with no
-// shared data. tc may be nil.
-func (p *Plan) Apply(e *matrix.Dense, s *sched.Scheduler, colBlock int, tc *trace.Collector) {
+// with a scheduler-backed job the blocks run concurrently on distinct
+// workers with no shared data; a nil (or inline) job runs them sequentially
+// with one shared workspace, stopping at a block boundary on cancellation
+// (the caller must check job.Err and discard E). tc may be nil.
+func (p *Plan) Apply(e *matrix.Dense, job *sched.Job, colBlock int, tc *trace.Collector) {
 	if e.Rows != p.n {
 		panic("backtransform: E row count mismatch")
 	}
+	if e.Cols == 0 {
+		return
+	}
 	if colBlock <= 0 {
 		colBlock = 64
+	}
+	if !job.Parallel() {
+		wk := p.ws.Floats(work.BacktransApply, p.maxK*min(colBlock, e.Cols), false)
+		for j0 := 0; j0 < e.Cols; j0 += colBlock {
+			if job.Canceled() {
+				return
+			}
+			jb := min(colBlock, e.Cols-j0)
+			p.applyBlock(e.View(0, j0, p.n, jb), wk, tc)
+		}
+		return
 	}
 	resBase := 1 << 30 // distinct from any tile resource IDs
 	for j0, idx := 0, 0; j0 < e.Cols; j0, idx = j0+colBlock, idx+1 {
 		jb := min(colBlock, e.Cols-j0)
 		view := e.View(0, j0, p.n, jb)
-		task := sched.Task{
+		job.Submit(sched.Task{
 			Name: "APPLYQ2",
 			Deps: []sched.Dep{sched.RW(resBase + idx)},
 			Run: func(int) {
-				p.applyBlock(view, tc)
+				p.applyBlock(view, make([]float64, p.maxK*view.Cols), tc)
 			},
-		}
-		if s == nil {
-			task.Run(0)
-		} else {
-			s.Submit(task)
-		}
+		})
 	}
-	if s != nil {
-		s.Wait()
-	}
+	job.Wait()
 }
 
-func (p *Plan) applyBlock(e *matrix.Dense, tc *trace.Collector) {
-	var work []float64
+// applyBlock applies every diamond to one column block of E. work must hold
+// at least p.maxK·e.Cols floats.
+func (p *Plan) applyBlock(e *matrix.Dense, work []float64, tc *trace.Collector) {
 	for i := range p.blocks {
 		d := &p.blocks[i]
-		if need := d.k * e.Cols; cap(work) < need {
-			work = make([]float64, need)
-		}
 		sub := e.View(d.rowStart, 0, d.rows, e.Cols)
 		householder.Larfb(blas.Left, blas.NoTrans, d.rows, e.Cols, d.k,
 			d.v, d.rows, d.t, d.k, sub.Data, sub.Stride, work[:d.k*e.Cols])

@@ -42,7 +42,7 @@ func TestApplyNaiveMatchesDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	n, kd, m := 20, 4, 7
 	b := randBand(rng, n, kd)
-	res := bulge.Chase(b, nil, 0, nil)
+	res := bulge.Chase(b, nil, 0, true, nil, nil)
 	q2 := denseQ2(res)
 	e := matrix.NewDense(n, m)
 	for i := range e.Data {
@@ -66,7 +66,7 @@ func TestDiamondMatchesNaive(t *testing.T) {
 		{9, 2, 3},
 	} {
 		b := randBand(rng, tc.n, tc.kd)
-		res := bulge.Chase(b, nil, 0, nil)
+		res := bulge.Chase(b, nil, 0, true, nil, nil)
 		m := 6
 		e := matrix.NewDense(tc.n, m)
 		for i := range e.Data {
@@ -75,7 +75,7 @@ func TestDiamondMatchesNaive(t *testing.T) {
 		want := e.Clone()
 		ApplyNaive(res, want, nil)
 		got := e.Clone()
-		NewPlan(res, tc.group).Apply(got, nil, 0, nil)
+		NewPlan(res, tc.group, nil).Apply(got, nil, 0, nil)
 		if !got.Equalish(want, 1e-11*float64(tc.n)) {
 			t.Fatalf("n=%d kd=%d group=%d: diamond apply != naive", tc.n, tc.kd, tc.group)
 		}
@@ -86,8 +86,8 @@ func TestApplyParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	n, kd := 30, 4
 	b := randBand(rng, n, kd)
-	res := bulge.Chase(b, nil, 0, nil)
-	p := NewPlan(res, 0)
+	res := bulge.Chase(b, nil, 0, true, nil, nil)
+	p := NewPlan(res, 0, nil)
 	e := matrix.NewDense(n, n)
 	for i := range e.Data {
 		e.Data[i] = rng.NormFloat64()
@@ -96,7 +96,7 @@ func TestApplyParallelMatchesSequential(t *testing.T) {
 	p.Apply(want, nil, 7, nil)
 	s := sched.New(3)
 	got := e.Clone()
-	p.Apply(got, s, 7, nil)
+	p.Apply(got, s.NewJob(nil), 7, nil)
 	s.Shutdown()
 	if !got.Equalish(want, 0) {
 		t.Fatal("parallel Apply differs from sequential")
@@ -109,8 +109,8 @@ func TestPlanReusable(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	n, kd := 18, 3
 	b := randBand(rng, n, kd)
-	res := bulge.Chase(b, nil, 0, nil)
-	p := NewPlan(res, 0)
+	res := bulge.Chase(b, nil, 0, true, nil, nil)
+	p := NewPlan(res, 0, nil)
 	e1 := matrix.NewDense(n, 4)
 	e2 := matrix.NewDense(n, 4)
 	for i := range e1.Data {
@@ -134,9 +134,9 @@ func TestEmptyQ2(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		b.Set(i, i, float64(i))
 	}
-	res := bulge.Chase(b, nil, 0, nil)
+	res := bulge.Chase(b, nil, 0, true, nil, nil)
 	e := matrix.Eye(8)
-	NewPlan(res, 0).Apply(e, nil, 0, nil)
+	NewPlan(res, 0, nil).Apply(e, nil, 0, nil)
 	if !e.Equalish(matrix.Eye(8), 0) {
 		t.Fatal("empty Q2 modified E")
 	}
@@ -152,8 +152,8 @@ func TestApplySubsetColumns(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	n, kd := 24, 4
 	b := randBand(rng, n, kd)
-	res := bulge.Chase(b, nil, 0, nil)
-	p := NewPlan(res, 0)
+	res := bulge.Chase(b, nil, 0, true, nil, nil)
+	p := NewPlan(res, 0, nil)
 	full := matrix.NewDense(n, n)
 	for i := range full.Data {
 		full.Data[i] = rng.NormFloat64()
@@ -170,8 +170,8 @@ func TestApplySubsetColumns(t *testing.T) {
 func TestPlanStatistics(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	b := randBand(rng, 30, 4)
-	res := bulge.Chase(b, nil, 0, nil)
-	p := NewPlan(res, 4)
+	res := bulge.Chase(b, nil, 0, true, nil, nil)
+	p := NewPlan(res, 4, nil)
 	if p.NumBlocks() == 0 {
 		t.Fatal("no diamond blocks")
 	}
@@ -181,7 +181,7 @@ func TestPlanStatistics(t *testing.T) {
 		t.Fatal("expected overlapping diamonds for n >> kd")
 	}
 	// An empty plan reports zeros and applies as identity.
-	empty := NewPlan(&bulge.Result{N: 5, B: 1}, 0)
+	empty := NewPlan(&bulge.Result{N: 5, B: 1}, 0, nil)
 	if empty.NumBlocks() != 0 || empty.OverlapEdges() != 0 {
 		t.Fatal("empty plan has blocks")
 	}

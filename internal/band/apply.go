@@ -5,6 +5,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/work"
 )
 
 // ApplyQ1 computes C := Q₁·C (trans == NoTrans) or C := Q₁ᵀ·C (trans ==
@@ -14,15 +15,31 @@ import (
 // Parallelization follows the paper's Figure 3c: C is split into column
 // blocks and each block is one task that applies the entire reflector
 // sequence, so blocks never share data, there is no inter-core
-// communication, and each core streams its own block through cache. Pass a
-// nil scheduler for sequential execution. colBlock ≤ 0 picks f.NB columns
-// per block.
-func (f *Factor) ApplyQ1(trans blas.Transpose, c *matrix.Dense, s *sched.Scheduler, colBlock int, tc *trace.Collector) {
+// communication, and each core streams its own block through cache. A nil
+// (or inline) job runs the blocks sequentially with one shared workspace;
+// a canceled job stops at a block boundary, leaving C partially updated
+// (the caller must check job.Err and discard). colBlock ≤ 0 picks f.NB
+// columns per block.
+func (f *Factor) ApplyQ1(trans blas.Transpose, c *matrix.Dense, job *sched.Job, colBlock int, tc *trace.Collector) {
 	if c.Rows != f.N {
 		panic("band: ApplyQ1 dimension mismatch")
 	}
+	if c.Cols == 0 {
+		return
+	}
 	if colBlock <= 0 {
 		colBlock = f.NB
+	}
+	if !job.Parallel() {
+		wk := f.ws.Floats(work.Q1Apply, f.NB*min(colBlock, c.Cols), false)
+		for j0 := 0; j0 < c.Cols; j0 += colBlock {
+			if job.Canceled() {
+				return
+			}
+			jb := min(colBlock, c.Cols-j0)
+			f.applyQ1Block(trans, c.View(0, j0, f.N, jb), wk, tc)
+		}
+		return
 	}
 	// Column-block resources are disjoint slices of C, so any distinct
 	// resource IDs work; reuse the ID space above the factor's own.
@@ -30,29 +47,23 @@ func (f *Factor) ApplyQ1(trans blas.Transpose, c *matrix.Dense, s *sched.Schedul
 	for j0, idx := 0, 0; j0 < c.Cols; j0, idx = j0+colBlock, idx+1 {
 		jb := min(colBlock, c.Cols-j0)
 		view := c.View(0, j0, f.N, jb)
-		task := sched.Task{
+		job.Submit(sched.Task{
 			Name: taskName("APPLYQ1", idx, 0),
 			Deps: []sched.Dep{sched.RW(base + idx)},
 			Run: func(int) {
-				f.applyQ1Block(trans, view, tc)
+				work := make([]float64, f.NB*view.Cols)
+				f.applyQ1Block(trans, view, work, tc)
 			},
-		}
-		if s == nil {
-			task.Run(0)
-		} else {
-			s.Submit(task)
-		}
+		})
 	}
-	if s != nil {
-		s.Wait()
-	}
+	job.Wait()
 }
 
 // applyQ1Block applies the full Q₁ (or its transpose) to one column block.
-func (f *Factor) applyQ1Block(trans blas.Transpose, c *matrix.Dense, tc *trace.Collector) {
+// work must hold at least f.NB·c.Cols floats.
+func (f *Factor) applyQ1Block(trans blas.Transpose, c *matrix.Dense, work []float64, tc *trace.Collector) {
 	nt, nb := f.NT, f.NB
 	m := c.Cols
-	work := make([]float64, nb*m)
 
 	// Q₁ = Q_0·Q_1⋯Q_{nt-2}, and within a panel Q_k = G_k·S_{k+2}⋯S_{nt-1}.
 	// For Q₁·C operators apply right-to-left (k descending, i descending,

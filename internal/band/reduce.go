@@ -5,6 +5,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/work"
 )
 
 // DefaultNB is the default tile size / bandwidth for stage 1. The paper's
@@ -21,6 +22,10 @@ const DefaultNB = 48
 //     below the diagonal;
 //   - tile (i, k), i > k+1: the dense part of the TS reflector that
 //     annihilated that tile.
+//
+// When Reduce is given a workspace arena, every buffer reachable from the
+// Factor (tiles, T factors, band) is arena-backed: the Factor is only valid
+// until the arena is recycled.
 type Factor struct {
 	N  int // matrix order
 	NB int // tile size == bandwidth
@@ -35,6 +40,26 @@ type Factor struct {
 	Tts [][][]float64
 	// Band is the resulting symmetric band matrix (bandwidth NB).
 	Band *matrix.SymBand
+
+	// ws is the arena the Factor was built from (nil for one-shot use);
+	// ApplyQ1 draws its sequential column-block scratch from it.
+	ws *work.Arena
+}
+
+// stage1Cache bundles the Factor and reducer headers so a recycled arena
+// reuses them (and the T-factor list spines) across solves.
+type stage1Cache struct {
+	f Factor
+	r reducer
+}
+
+func stage1For(ws *work.Arena) *stage1Cache {
+	if sc, ok := ws.Value(work.Stage1Factor).(*stage1Cache); ok {
+		return sc
+	}
+	sc := &stage1Cache{}
+	ws.SetValue(work.Stage1Factor, sc)
+	return sc
 }
 
 // PanelReflectors returns the reflector count of panel k.
@@ -45,19 +70,122 @@ func (f *Factor) PanelReflectors(k int) int {
 // resource IDs for the scheduler: tiles use TileMatrix.TileID (in
 // [0, NT²)); the extra virtual resources below avoid false dependences
 // between readers of the V part and writers of the R part of a panel tile.
-func (f *Factor) resV(k int) int   { return f.NT*f.NT + k }          // V of tile (k+1,k)
-func (f *Factor) resR(k int) int   { return 2*f.NT*f.NT + k }        // R of tile (k+1,k)
-func (f *Factor) resTge(k int) int { return 3*f.NT*f.NT + k }        // Tge[k]
+func (f *Factor) resV(k int) int   { return f.NT*f.NT + k }   // V of tile (k+1,k)
+func (f *Factor) resR(k int) int   { return 2*f.NT*f.NT + k } // R of tile (k+1,k)
+func (f *Factor) resTge(k int) int { return 3*f.NT*f.NT + k } // Tge[k]
 func (f *Factor) resTts(k, i int) int {
 	return 4*f.NT*f.NT + k*f.NT + i
 }
 
-// Reduce runs the DAG-scheduled stage-1 reduction of the dense symmetric
-// matrix a (both triangles must be filled) to band form with bandwidth nb.
-// If s is nil the tasks run sequentially in submission order, which is the
-// reference execution the scheduled one must match bit-for-bit (each tile
-// sees the same operation sequence either way). tc may be nil.
-func Reduce(a *matrix.Dense, nb int, s *sched.Scheduler, tc *trace.Collector) *Factor {
+// reducer carries the stage-1 kernel state. Every kernel method re-derives
+// its geometry from the tile indices, so the sequential path can call them
+// directly — no closures, no captured variables, no per-task allocations —
+// while the scheduled path wraps the same methods in tasks.
+type reducer struct {
+	f       *Factor
+	tm      *matrix.TileMatrix
+	tc      *trace.Collector
+	scratch [][]float64 // per-worker kernel workspace, nb²+2nb floats each
+}
+
+// panelGeom returns the dimensions of panel k: rows of the panel tile,
+// panel width, and reflector count.
+func (r *reducer) panelGeom(k int) (m1, kw, kr int) {
+	m1 = r.tm.TileRows(k + 1)
+	kw = r.tm.TileCols(k)
+	kr = min(m1, kw)
+	return
+}
+
+// geqrt factors the top of panel k (tile (k+1, k)).
+func (r *reducer) geqrt(k, w int) {
+	m1, kw, kr := r.panelGeom(k)
+	Geqrt(m1, kw, r.tm.Tile(k+1, k), m1, r.f.Tge[k], kr, r.scratch[w][:kr+kw], r.tc)
+}
+
+// syrfb applies the GEQRT reflector two-sidedly to the diagonal tile.
+func (r *reducer) syrfb(k, w int) {
+	m1, _, kr := r.panelGeom(k)
+	panel := r.tm.Tile(k+1, k)
+	diag := r.tm.Tile(k+1, k+1)
+	wk := r.scratch[w][:kr*m1]
+	Ormqr(blas.Left, blas.Trans, m1, m1, kr, panel, m1, r.f.Tge[k], kr, diag, m1, wk, r.tc)
+	Ormqr(blas.Right, blas.NoTrans, m1, m1, kr, panel, m1, r.f.Tge[k], kr, diag, m1, wk, r.tc)
+}
+
+// ormqrL updates row tile (k+1, j) from the left: A[k+1][j] := Hᵀ·A[k+1][j].
+func (r *reducer) ormqrL(k, j, w int) {
+	m1, _, kr := r.panelGeom(k)
+	nc := r.tm.TileCols(j)
+	Ormqr(blas.Left, blas.Trans, m1, nc, kr, r.tm.Tile(k+1, k), m1, r.f.Tge[k], kr,
+		r.tm.Tile(k+1, j), m1, r.scratch[w][:kr*nc], r.tc)
+}
+
+// mirror exploits symmetry: the two-sided result satisfies A[j][k+1] =
+// (Hᵀ·A[k+1][j])ᵀ, so the freshly left-updated row tile is transposed into
+// the column tile instead of recomputed (a copy, not flops — this is how the
+// tile algorithm keeps the 4/3·n³-class cost of a symmetry-aware reduction).
+func (r *reducer) mirror(k, j, _ int) {
+	m1 := r.tm.TileRows(k + 1)
+	mr := r.tm.TileRows(j)
+	transposeTile(r.tm.Tile(k+1, j), m1, mr, r.tm.Tile(j, k+1))
+}
+
+// tsqrt couples tile (i, k) into the panel's R factor.
+func (r *reducer) tsqrt(k, i, w int) {
+	m1, kw, _ := r.panelGeom(k)
+	m2 := r.tm.TileRows(i)
+	Tsqrt(kw, m2, r.tm.Tile(k+1, k), m1, r.tm.Tile(i, k), m2,
+		r.f.Tts[k][i-(k+2)], kw, r.scratch[w][:kw], r.tc)
+}
+
+// tsmqrL applies the TS reflector of (i, k) from the left to row pair
+// (k+1, i), column j.
+func (r *reducer) tsmqrL(k, i, j, w int) {
+	m1 := r.tm.TileRows(k + 1)
+	kw := r.tm.TileCols(k)
+	m2 := r.tm.TileRows(i)
+	nc := r.tm.TileCols(j)
+	Tsmqr(blas.Left, blas.Trans, kw, nc, 0, m2,
+		r.tm.Tile(k+1, j), m1, r.tm.Tile(i, j), m2,
+		r.tm.Tile(i, k), m2, r.f.Tts[k][i-(k+2)], kw, r.scratch[w][:kw*nc], r.tc)
+}
+
+// tsmqrC applies the TS reflector of (i, k) from the right to column pair
+// (k+1, i), row `row` — only rows {k+1, i} need real computation; the rest
+// are mirrored (see mirror2).
+func (r *reducer) tsmqrC(k, i, row, w int) {
+	kw := r.tm.TileCols(k)
+	m2 := r.tm.TileRows(i)
+	mr := r.tm.TileRows(row)
+	Tsmqr(blas.Right, blas.NoTrans, kw, 0, mr, m2,
+		r.tm.Tile(row, k+1), mr, r.tm.Tile(row, i), mr,
+		r.tm.Tile(i, k), m2, r.f.Tts[k][i-(k+2)], kw, r.scratch[w][:mr*kw], r.tc)
+}
+
+// mirror2 transposes the freshly left-updated row tiles of pair (k+1, i)
+// into the corresponding column tiles of row `row` (symmetry exploitation,
+// as in mirror).
+func (r *reducer) mirror2(k, i, row, _ int) {
+	m1 := r.tm.TileRows(k + 1)
+	m2 := r.tm.TileRows(i)
+	mr := r.tm.TileRows(row)
+	transposeTile(r.tm.Tile(k+1, row), m1, mr, r.tm.Tile(row, k+1))
+	transposeTile(r.tm.Tile(i, row), m2, mr, r.tm.Tile(row, i))
+}
+
+// Reduce runs the stage-1 reduction of the dense symmetric matrix a (both
+// triangles must be filled) to band form with bandwidth nb.
+//
+// job selects the execution mode: a nil job (or one created with
+// sched.Inline) runs the kernels sequentially in submission order — the
+// reference execution the scheduled one must match bit-for-bit — while a
+// scheduler-backed job runs the DAG on the worker pool. If the job is
+// canceled the reduction stops at a task boundary and the Factor's contents
+// are unspecified; the caller must check job.Err. ws may be nil (fresh
+// allocations); when non-nil the returned Factor is arena-backed and only
+// valid until the arena is recycled. tc may be nil.
+func Reduce(a *matrix.Dense, nb int, job *sched.Job, ws *work.Arena, tc *trace.Collector) *Factor {
 	n := a.Rows
 	if a.Cols != n {
 		panic("band: Reduce requires a square matrix")
@@ -65,90 +193,137 @@ func Reduce(a *matrix.Dense, nb int, s *sched.Scheduler, tc *trace.Collector) *F
 	if nb <= 0 {
 		nb = DefaultNB
 	}
-	tm := matrix.NewTileMatrix(n, nb)
+	tm := ws.Tiles(work.Stage1Tiles, n, nb)
 	tm.FromLapack(a)
-	f := &Factor{N: n, NB: nb, NT: tm.NT, A: tm}
-	f.Tge = make([][]float64, max(0, f.NT-1))
-	f.Tts = make([][][]float64, max(0, f.NT-1))
+	sc := stage1For(ws)
+	f := &sc.f
+	tge, tts := f.Tge, f.Tts
+	*f = Factor{N: n, NB: nb, NT: tm.NT, A: tm, ws: ws}
+	nt := f.NT
 
-	submit := func(t sched.Task) {
-		if s == nil {
-			t.Run(0)
-		} else {
-			s.Submit(t)
+	// Carve every T factor out of one slab: the per-panel counts are known
+	// up front, so size it exactly and hand out zeroed slices. The list
+	// spines (Tge, Tts and its per-panel rows) are retained across solves.
+	capT := 0
+	for k := 0; k < nt-1; k++ {
+		m1 := tm.TileRows(k + 1)
+		kw := tm.TileCols(k)
+		kr := min(m1, kw)
+		capT += kr*kr + max(0, nt-k-2)*kw*kw
+	}
+	slab := ws.SlabOf(work.Stage1Slab, capT)
+	np := max(0, nt-1)
+	if cap(tge) < np {
+		tge = make([][]float64, np)
+	}
+	if cap(tts) < np {
+		tts = make([][][]float64, np)
+	}
+	f.Tge = tge[:np]
+	f.Tts = tts[:np]
+	for k := 0; k < nt-1; k++ {
+		m1 := tm.TileRows(k + 1)
+		kw := tm.TileCols(k)
+		kr := min(m1, kw)
+		f.Tge[k] = slab.Take(kr * kr)
+		nts := max(0, nt-k-2)
+		if cap(f.Tts[k]) < nts {
+			f.Tts[k] = make([][]float64, nts)
+		}
+		f.Tts[k] = f.Tts[k][:nts]
+		for i := k + 2; i < nt; i++ {
+			f.Tts[k][i-(k+2)] = slab.Take(kw * kw)
 		}
 	}
 
-	nt := f.NT
+	r := &sc.r
+	*r = reducer{
+		f: f, tm: tm, tc: tc,
+		scratch: ws.PerWorker(work.Stage1Scratch, job.Workers(), nb*nb+2*nb),
+	}
+	if job.Parallel() {
+		r.schedule(job)
+		job.Wait() // error, if any, surfaces through job.Err at the caller
+	} else {
+		r.runSeq(job)
+	}
+	f.Band = extractBand(tm, nb, ws)
+	return f
+}
+
+// runSeq executes the kernel sequence in submission order on the calling
+// goroutine, with a cancellation check per panel. It performs no per-task
+// allocations.
+func (r *reducer) runSeq(job *sched.Job) {
+	nt := r.f.NT
+	for k := 0; k < nt-1; k++ {
+		if job.Canceled() {
+			return
+		}
+		r.geqrt(k, 0)
+		r.syrfb(k, 0)
+		for j := k + 2; j < nt; j++ {
+			r.ormqrL(k, j, 0)
+			r.mirror(k, j, 0)
+		}
+		for i := k + 2; i < nt; i++ {
+			r.tsqrt(k, i, 0)
+			for j := k + 1; j < nt; j++ {
+				r.tsmqrL(k, i, j, 0)
+			}
+			r.tsmqrC(k, i, k+1, 0)
+			r.tsmqrC(k, i, i, 0)
+			for row := k + 1; row < nt; row++ {
+				if row == k+1 || row == i {
+					continue
+				}
+				r.mirror2(k, i, row, 0)
+			}
+		}
+	}
+}
+
+// schedule submits the same kernel sequence as tasks with their access lists;
+// the scheduler infers the DAG from submission order.
+func (r *reducer) schedule(job *sched.Job) {
+	f, tm, nt := r.f, r.tm, r.f.NT
 	for k := 0; k < nt-1; k++ {
 		k := k
-		m1 := tm.TileRows(k + 1)
-		kw := tm.TileCols(k) // panel width (== nb except never: k < nt-1)
-		kr := min(m1, kw)
-		f.Tge[k] = make([]float64, kr*kr)
-		f.Tts[k] = make([][]float64, max(0, nt-k-2))
-
-		panel := tm.Tile(k+1, k)
-		tge := f.Tge[k]
-
 		// GEQRT on tile (k+1, k): factor the top of the panel.
-		submit(sched.Task{
+		job.Submit(sched.Task{
 			Name:     taskName("GEQRT", k+1, k),
 			Priority: 100, // panel tasks are on the critical path
 			Deps: []sched.Dep{
 				sched.RW(tm.TileID(k+1, k)), sched.W(f.resV(k)), sched.W(f.resR(k)), sched.W(f.resTge(k)),
 			},
-			Run: func(int) {
-				work := make([]float64, kr+kw)
-				Geqrt(m1, kw, panel, m1, tge, kr, work, tc)
-			},
+			Run: func(w int) { r.geqrt(k, w) },
 		})
 
 		// Apply the GEQRT reflector two-sidedly to the trailing submatrix.
 		// Diagonal tile: Hᵀ·A·H in one task.
-		diag := tm.Tile(k+1, k+1)
-		submit(sched.Task{
+		job.Submit(sched.Task{
 			Name:     taskName("SYRFB", k+1, k+1),
 			Priority: 50,
 			Deps: []sched.Dep{
 				sched.RW(tm.TileID(k+1, k+1)), sched.R(f.resV(k)), sched.R(f.resTge(k)),
 			},
-			Run: func(int) {
-				work := make([]float64, kr*m1)
-				Ormqr(blas.Left, blas.Trans, m1, m1, kr, panel, m1, tge, kr, diag, m1, work, tc)
-				Ormqr(blas.Right, blas.NoTrans, m1, m1, kr, panel, m1, tge, kr, diag, m1, work, tc)
-			},
+			Run: func(w int) { r.syrfb(k, w) },
 		})
 		for j := k + 2; j < nt; j++ {
 			j := j
-			nc := tm.TileCols(j)
-			// Left on row k+1: A[k+1][j] := Hᵀ·A[k+1][j].
-			rowT := tm.Tile(k+1, j)
-			submit(sched.Task{
+			job.Submit(sched.Task{
 				Name: taskName("ORMQR-L", k+1, j),
 				Deps: []sched.Dep{
 					sched.RW(tm.TileID(k+1, j)), sched.R(f.resV(k)), sched.R(f.resTge(k)),
 				},
-				Run: func(int) {
-					work := make([]float64, kr*nc)
-					Ormqr(blas.Left, blas.Trans, m1, nc, kr, panel, m1, tge, kr, rowT, m1, work, tc)
-				},
+				Run: func(w int) { r.ormqrL(k, j, w) },
 			})
-			// Right on column k+1 exploits symmetry: the two-sided result
-			// satisfies A[j][k+1] = (Hᵀ·A[k+1][j])ᵀ, so mirror the freshly
-			// left-updated tile instead of recomputing (a copy, not flops —
-			// this is how the tile algorithm keeps the 4/3·n³-class cost of
-			// a symmetry-aware reduction).
-			colT := tm.Tile(j, k+1)
-			mr := tm.TileRows(j)
-			submit(sched.Task{
+			job.Submit(sched.Task{
 				Name: taskName("MIRROR", j, k+1),
 				Deps: []sched.Dep{
 					sched.W(tm.TileID(j, k+1)), sched.R(tm.TileID(k+1, j)),
 				},
-				Run: func(int) {
-					transposeTile(rowT, m1, mr, colT)
-				},
+				Run: func(w int) { r.mirror(k, j, w) },
 			})
 		}
 
@@ -156,97 +331,65 @@ func Reduce(a *matrix.Dense, nb int, s *sched.Scheduler, tc *trace.Collector) *F
 		// application to row/column pairs (k+1, i).
 		for i := k + 2; i < nt; i++ {
 			i := i
-			m2 := tm.TileRows(i)
-			tts := make([]float64, kw*kw)
-			f.Tts[k][i-(k+2)] = tts
-			vtile := tm.Tile(i, k)
-			submit(sched.Task{
+			job.Submit(sched.Task{
 				Name:     taskName("TSQRT", i, k),
 				Priority: 100,
 				Deps: []sched.Dep{
 					sched.RW(f.resR(k)), sched.RW(tm.TileID(i, k)), sched.W(f.resTts(k, i)),
 				},
-				Run: func(int) {
-					work := make([]float64, kw)
-					Tsqrt(kw, m2, panel, m1, vtile, m2, tts, kw, work, tc)
-				},
+				Run: func(w int) { r.tsqrt(k, i, w) },
 			})
 			// Left on row pair (k+1, i), every column k+1..nt-1.
 			for j := k + 1; j < nt; j++ {
 				j := j
-				nc := tm.TileCols(j)
-				a1 := tm.Tile(k+1, j)
-				a2 := tm.Tile(i, j)
-				submit(sched.Task{
+				job.Submit(sched.Task{
 					Name: taskName("TSMQR-L", i, j),
 					Deps: []sched.Dep{
 						sched.RW(tm.TileID(k+1, j)), sched.RW(tm.TileID(i, j)),
 						sched.R(tm.TileID(i, k)), sched.R(f.resTts(k, i)),
 					},
-					Run: func(int) {
-						work := make([]float64, kw*nc)
-						Tsmqr(blas.Left, blas.Trans, kw, nc, 0, m2, a1, m1, a2, m2, vtile, m2, tts, kw, work, tc)
-					},
+					Run: func(w int) { r.tsmqrL(k, i, j, w) },
 				})
 			}
 			// Right on column pair (k+1, i). Only the 2×2 corner (rows
 			// {k+1, i}) needs real computation; every other row is the
-			// transpose of a freshly left-updated tile — mirror it
-			// (symmetry exploitation, as above).
-			for _, r := range []int{k + 1, i} {
-				r := r
-				mr := tm.TileRows(r)
-				a1 := tm.Tile(r, k+1)
-				a2 := tm.Tile(r, i)
-				submit(sched.Task{
-					Name: taskName("TSMQR-C", r, i),
+			// transpose of a freshly left-updated tile — mirror it.
+			for _, row := range [2]int{k + 1, i} {
+				row := row
+				job.Submit(sched.Task{
+					Name: taskName("TSMQR-C", row, i),
 					Deps: []sched.Dep{
-						sched.RW(tm.TileID(r, k+1)), sched.RW(tm.TileID(r, i)),
+						sched.RW(tm.TileID(row, k+1)), sched.RW(tm.TileID(row, i)),
 						sched.R(tm.TileID(i, k)), sched.R(f.resTts(k, i)),
 					},
-					Run: func(int) {
-						work := make([]float64, mr*kw)
-						Tsmqr(blas.Right, blas.NoTrans, kw, 0, mr, m2, a1, mr, a2, mr, vtile, m2, tts, kw, work, tc)
-					},
+					Run: func(w int) { r.tsmqrC(k, i, row, w) },
 				})
 			}
-			for r := k + 1; r < nt; r++ {
-				if r == k+1 || r == i {
+			for row := k + 1; row < nt; row++ {
+				if row == k+1 || row == i {
 					continue
 				}
-				r := r
-				mr := tm.TileRows(r)
-				src1 := tm.Tile(k+1, r)
-				dst1 := tm.Tile(r, k+1)
-				src2 := tm.Tile(i, r)
-				dst2 := tm.Tile(r, i)
-				submit(sched.Task{
-					Name: taskName("MIRROR2", r, i),
+				row := row
+				job.Submit(sched.Task{
+					Name: taskName("MIRROR2", row, i),
 					Deps: []sched.Dep{
-						sched.W(tm.TileID(r, k+1)), sched.R(tm.TileID(k+1, r)),
-						sched.W(tm.TileID(r, i)), sched.R(tm.TileID(i, r)),
+						sched.W(tm.TileID(row, k+1)), sched.R(tm.TileID(k+1, row)),
+						sched.W(tm.TileID(row, i)), sched.R(tm.TileID(i, row)),
 					},
-					Run: func(int) {
-						transposeTile(src1, m1, mr, dst1)
-						transposeTile(src2, m2, mr, dst2)
-					},
+					Run: func(w int) { r.mirror2(k, i, row, w) },
 				})
 			}
 		}
 	}
-	if s != nil {
-		s.Wait()
-	}
-	f.Band = extractBand(tm, nb)
-	return f
 }
 
 // extractBand reads the band part out of the reduced tile matrix: the lower
 // triangles of the diagonal tiles plus the R triangles of the subdiagonal
-// tiles (everything below R is reflector storage, logically zero).
-func extractBand(tm *matrix.TileMatrix, nb int) *matrix.SymBand {
+// tiles (everything below R is reflector storage, logically zero). The band
+// storage comes zeroed from the arena, so only in-band entries are written.
+func extractBand(tm *matrix.TileMatrix, nb int, ws *work.Arena) *matrix.SymBand {
 	n := tm.N
-	b := matrix.NewSymBand(n, min(nb, max(0, n-1)))
+	b := ws.Band(work.Stage2Band, n, min(nb, max(0, n-1)))
 	for j := 0; j < n; j++ {
 		jmax := min(n-1, j+b.KD)
 		for i := j; i <= jmax; i++ {

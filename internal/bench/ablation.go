@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,8 +19,8 @@ import (
 // row is the naive one-at-a-time reference.
 func AblationGroup(n, nb int, groups []int) *Table {
 	a := matFor(n)
-	f := band.Reduce(a, nb, nil, nil)
-	res := bulge.Chase(f.Band, nil, 0, nil)
+	f := band.Reduce(a, nb, nil, nil, nil)
+	res := bulge.Chase(f.Band, nil, 0, true, nil, nil)
 	e := matFor(n) // any dense n×n stands in for the eigenvector matrix
 	t := &Table{
 		Name:    fmt.Sprintf("Ablation — Q2 application: naive vs diamond group width (n=%d, nb=%d)", n, nb),
@@ -31,7 +32,7 @@ func AblationGroup(n, nb int, groups []int) *Table {
 		if group == 0 {
 			backtransform.ApplyNaive(res, work, nil)
 		} else {
-			backtransform.NewPlan(res, group).Apply(work, nil, 0, nil)
+			backtransform.NewPlan(res, group, nil).Apply(work, nil, 0, nil)
 		}
 		return time.Since(start)
 	}
@@ -52,18 +53,18 @@ func AblationGroup(n, nb int, groups []int) *Table {
 // experiment demonstrates the mechanism and reports task counts.
 func AblationStage2Cores(n, nb int, workerCounts []int) *Table {
 	a := matFor(n)
-	f := band.Reduce(a, nb, nil, nil)
+	f := band.Reduce(a, nb, nil, nil, nil)
 	t := &Table{
 		Name:    fmt.Sprintf("Ablation — stage-2 scheduling (n=%d, nb=%d)", n, nb),
 		Headers: []string{"mode", "time"},
 	}
 	start := time.Now()
-	bulge.Chase(f.Band, nil, 0, nil)
+	bulge.Chase(f.Band, nil, 0, true, nil, nil)
 	t.Rows = append(t.Rows, []string{"sequential", secs(time.Since(start))})
 	for _, wkr := range workerCounts {
 		s := sched.New(wkr)
 		start = time.Now()
-		bulge.Chase(f.Band, s, 0, nil)
+		bulge.Chase(f.Band, s.NewJob(nil), 0, true, nil, nil)
 		d := time.Since(start)
 		s.Shutdown()
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("dynamic, %d workers", wkr), secs(d)})
@@ -71,14 +72,14 @@ func AblationStage2Cores(n, nb int, workerCounts []int) *Table {
 	// Core restriction: many workers available, chase confined to 1.
 	s := sched.New(4)
 	start = time.Now()
-	bulge.Chase(f.Band, s, 0b1, nil)
+	bulge.Chase(f.Band, s.NewJob(nil), 0b1, true, nil, nil)
 	d := time.Since(start)
 	s.Shutdown()
 	t.Rows = append(t.Rows, []string{"dynamic, 4 workers, restricted to 1 (paper's locality trick)", secs(d)})
 	// Static progress-table runtime, the paper's other mode.
 	for _, wkr := range workerCounts {
 		start = time.Now()
-		bulge.ChaseStatic(f.Band, wkr, nil)
+		bulge.ChaseStatic(context.Background(), f.Band, wkr, true, nil, nil)
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("static, %d workers", wkr), secs(time.Since(start))})
 	}
 	t.Notes = append(t.Notes,
@@ -97,12 +98,12 @@ func AblationStage1Sched(n, nb int, workerCounts []int) *Table {
 		Headers: []string{"mode", "time", "band equals sequential"},
 	}
 	start := time.Now()
-	ref := band.Reduce(a.Clone(), nb, nil, nil)
+	ref := band.Reduce(a.Clone(), nb, nil, nil, nil)
 	t.Rows = append(t.Rows, []string{"sequential", secs(time.Since(start)), "-"})
 	for _, wkr := range workerCounts {
 		s := sched.New(wkr)
 		start = time.Now()
-		got := band.Reduce(a.Clone(), nb, s, nil)
+		got := band.Reduce(a.Clone(), nb, s.NewJob(nil), nil, nil)
 		d := time.Since(start)
 		s.Shutdown()
 		equal := bandsEqual(ref.Band, got.Band)

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -79,9 +80,9 @@ func solveTimed(a *matrix.Dense, two bool, o core.Options) (*trace.Collector, *c
 	var err error
 	start := time.Now()
 	if two {
-		res, err = core.SyevTwoStage(a, o)
+		res, err = core.SyevTwoStage(context.Background(), a, o)
 	} else {
-		res, err = core.SyevOneStage(a, o)
+		res, err = core.SyevOneStage(context.Background(), a, o)
 	}
 	tc.AddPhase("total", time.Since(start))
 	return tc, res, err

@@ -20,8 +20,8 @@ import (
 // never leaves the extended band (the delayed-annihilation invariant).
 func Figure2(n, nb int) *Table {
 	rngMat := matFor(n)
-	f := band.Reduce(rngMat, nb, nil, nil)
-	res := bulge.Chase(f.Band, nil, 0, nil)
+	f := band.Reduce(rngMat, nb, nil, nil, nil)
+	res := bulge.Chase(f.Band, nil, 0, true, nil, nil)
 	t := &Table{
 		Name:    fmt.Sprintf("Figure 2 — bulge-chasing kernel structure (n=%d, nb=%d)", n, nb),
 		Headers: []string{"sweep", "level", "kernel", "rows"},
@@ -69,8 +69,8 @@ func Figure2(n, nb int) *Table {
 // communication-free.
 func Figure3(n, nb, group, cores int) *Table {
 	a := matFor(n)
-	f := band.Reduce(a, nb, nil, nil)
-	res := bulge.Chase(f.Band, nil, 0, nil)
+	f := band.Reduce(a, nb, nil, nil, nil)
+	res := bulge.Chase(f.Band, nil, 0, true, nil, nil)
 	t := &Table{
 		Name:    fmt.Sprintf("Figure 3 — back-transformation structure (n=%d, nb=%d, group=%d)", n, nb, group),
 		Headers: []string{"quantity", "value"},
@@ -84,7 +84,7 @@ func Figure3(n, nb, group, cores int) *Table {
 	t.Rows = append(t.Rows, []string{"V1 tile grid", fmt.Sprintf("%d×%d tiles of %d×%d", nt, nt, nb, nb)})
 	t.Rows = append(t.Rows, []string{"V1 reflector tiles", fmt.Sprintf("%d", v1tiles)})
 	// (b) V2 diamonds.
-	plan := backtransform.NewPlan(res, group)
+	plan := backtransform.NewPlan(res, group, nil)
 	t.Rows = append(t.Rows, []string{"Q2 reflectors", fmt.Sprintf("%d", len(res.Refs))})
 	t.Rows = append(t.Rows, []string{"Q2 diamond blocks", fmt.Sprintf("%d", plan.NumBlocks())})
 	t.Rows = append(t.Rows, []string{"avg reflectors/diamond", f2(float64(len(res.Refs)) / float64(max(1, plan.NumBlocks())))})
@@ -173,8 +173,8 @@ func solveFamily(a *matrix.Dense, workers int, tc *trace.Collector) (*familyResu
 // one on this single-core host.
 func Stage2ParallelCheck(n, nb int, workerCounts []int) *Table {
 	a := matFor(n)
-	f := band.Reduce(a, nb, nil, nil)
-	ref := bulge.Chase(f.Band, nil, 0, nil)
+	f := band.Reduce(a, nb, nil, nil, nil)
+	ref := bulge.Chase(f.Band, nil, 0, true, nil, nil)
 	dref := append([]float64(nil), ref.T.D...)
 	eref := append([]float64(nil), ref.T.E...)
 	if err := tridiag.Sterf(dref, eref); err != nil {
@@ -186,7 +186,7 @@ func Stage2ParallelCheck(n, nb int, workerCounts []int) *Table {
 	}
 	for _, wkr := range workerCounts {
 		s := sched.New(wkr)
-		got := bulge.Chase(f.Band, s, 0, nil)
+		got := bulge.Chase(f.Band, s.NewJob(nil), 0, true, nil, nil)
 		s.Shutdown()
 		equal := true
 		for i := range ref.T.D {

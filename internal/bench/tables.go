@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,7 +30,7 @@ func Table1(n int) *Table {
 		a := matFor(n)
 		tc := trace.New()
 		o := core.Options{Method: m, Vectors: true, Collector: tc}
-		if _, err := core.SyevOneStage(a, o); err != nil {
+		if _, err := core.SyevOneStage(context.Background(), a, o); err != nil {
 			t.Notes = append(t.Notes, fmt.Sprintf("%v failed: %v", m, err))
 			continue
 		}
@@ -73,7 +74,7 @@ func Table2() *Table {
 		run(a, tc)
 		return float64(tc.TotalFlops()) / time.Since(start).Seconds()
 	}
-	trd := rate(func(a *matrix.Dense, tc *trace.Collector) { onestage.Sytrd(a, 1, tc) })
+	trd := rate(func(a *matrix.Dense, tc *trace.Collector) { onestage.Sytrd(a, 1, nil, tc) })
 	brd := rate(func(a *matrix.Dense, tc *trace.Collector) { onestage.Gebrd(a, tc) })
 	hrd := rate(func(a *matrix.Dense, tc *trace.Collector) { onestage.Gehrd(a, tc) })
 	t := &Table{

@@ -1,6 +1,7 @@
 package bulge
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -46,7 +47,7 @@ func TestChaseTridiagonalizes(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, tc := range []struct{ n, kd int }{{6, 2}, {10, 3}, {16, 4}, {17, 5}, {24, 4}, {30, 8}, {12, 11}, {9, 2}} {
 		b := randBand(rng, tc.n, tc.kd)
-		res := Chase(b, nil, 0, nil)
+		res := Chase(b, nil, 0, true, nil, nil)
 		n := tc.n
 		// 1. The result must be tridiagonal: reconstruct and compare.
 		q2 := buildQ2(res)
@@ -74,7 +75,7 @@ func TestChaseEigenvaluesPreserved(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for _, tc := range []struct{ n, kd int }{{20, 4}, {40, 6}, {33, 5}} {
 		b := randBand(rng, tc.n, tc.kd)
-		res := Chase(b, nil, 0, nil)
+		res := Chase(b, nil, 0, true, nil, nil)
 		// Eigenvalues of T.
 		dT := append([]float64(nil), res.T.D...)
 		eT := append([]float64(nil), res.T.E...)
@@ -111,7 +112,7 @@ func TestChaseEigenvaluesPreserved(t *testing.T) {
 func TestChaseAlreadyTridiagonal(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	b := randBand(rng, 12, 1)
-	res := Chase(b, nil, 0, nil)
+	res := Chase(b, nil, 0, true, nil, nil)
 	if len(res.Refs) != 0 {
 		t.Fatalf("kd=1 input should produce no reflectors, got %d", len(res.Refs))
 	}
@@ -126,7 +127,7 @@ func TestChaseSmallAndDegenerate(t *testing.T) {
 	// n ≤ 2 and zero matrices must not crash.
 	for _, n := range []int{0, 1, 2, 3} {
 		b := matrix.NewSymBand(n, min(2, max(0, n-1)))
-		res := Chase(b, nil, 0, nil)
+		res := Chase(b, nil, 0, true, nil, nil)
 		if res.T.N() != n {
 			t.Fatalf("n=%d: bad T size", n)
 		}
@@ -136,7 +137,7 @@ func TestChaseSmallAndDegenerate(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		b.Set(i, i, float64(i))
 	}
-	res := Chase(b, nil, 0, nil)
+	res := Chase(b, nil, 0, true, nil, nil)
 	for i := 0; i < 8; i++ {
 		if res.T.D[i] != float64(i) {
 			t.Fatal("diagonal matrix altered")
@@ -151,10 +152,10 @@ func TestChaseScheduledMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	n, kd := 40, 5
 	b := randBand(rng, n, kd)
-	ref := Chase(b, nil, 0, nil)
+	ref := Chase(b, nil, 0, true, nil, nil)
 	for _, workers := range []int{1, 3} {
 		s := sched.New(workers)
-		got := Chase(b, s, 0, nil)
+		got := Chase(b, s.NewJob(nil), 0, true, nil, nil)
 		s.Shutdown()
 		for i := range ref.T.D {
 			if ref.T.D[i] != got.T.D[i] {
@@ -183,7 +184,7 @@ func TestChaseAffinityRestriction(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	b := randBand(rng, 24, 4)
 	s := sched.New(4, sched.WithTrace())
-	Chase(b, s, 0b0011, nil) // workers 0 and 1 only
+	Chase(b, s.NewJob(nil), 0b0011, true, nil, nil) // workers 0 and 1 only
 	events := s.Trace()
 	s.Shutdown()
 	if len(events) == 0 {
@@ -202,7 +203,7 @@ func TestReflectorLattice(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	n, kd := 30, 4
 	b := randBand(rng, n, kd)
-	res := Chase(b, nil, 0, nil)
+	res := Chase(b, nil, 0, true, nil, nil)
 	for _, r := range res.Refs {
 		wantRow := r.Sweep + r.Level*kd + 1
 		if r.Row != wantRow {
@@ -221,9 +222,12 @@ func TestChaseStaticMatchesDynamic(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	n, kd := 36, 4
 	b := randBand(rng, n, kd)
-	ref := Chase(b, nil, 0, nil)
+	ref := Chase(b, nil, 0, true, nil, nil)
 	for _, workers := range []int{1, 2, 4} {
-		got := ChaseStatic(b, workers, nil)
+		got, err := ChaseStatic(context.Background(), b, workers, true, nil, nil)
+		if err != nil {
+			t.Fatalf("ChaseStatic: %v", err)
+		}
 		for i := range ref.T.D {
 			if ref.T.D[i] != got.T.D[i] {
 				t.Fatalf("static workers=%d: D[%d] differs", workers, i)
@@ -248,9 +252,40 @@ func TestChaseStaticMatchesDynamic(t *testing.T) {
 func TestChaseStaticDegenerate(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 5} {
 		b := matrix.NewSymBand(n, min(1, max(0, n-1)))
-		res := ChaseStatic(b, 3, nil)
+		res, err := ChaseStatic(context.Background(), b, 3, true, nil, nil)
+		if err != nil {
+			t.Fatalf("ChaseStatic: %v", err)
+		}
 		if res.T.N() != n {
 			t.Fatalf("n=%d: bad T size", n)
+		}
+	}
+}
+
+// TestChaseValuesOnly checks the wantQ=false fast path: no reflectors are
+// recorded (the back-transformation never runs for values-only solves) and
+// the tridiagonal output is identical to the full chase.
+func TestChaseValuesOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct{ n, kd int }{{17, 3}, {32, 4}, {40, 6}} {
+		b := randBand(rng, tc.n, tc.kd)
+		full := Chase(b, nil, 0, true, nil, nil)
+		vo := Chase(b, nil, 0, false, nil, nil)
+		if vo.Refs != nil {
+			t.Fatalf("n=%d kd=%d: values-only chase recorded %d reflectors", tc.n, tc.kd, len(vo.Refs))
+		}
+		if len(full.Refs) == 0 {
+			t.Fatalf("n=%d kd=%d: full chase recorded no reflectors", tc.n, tc.kd)
+		}
+		for i := range full.T.D {
+			if vo.T.D[i] != full.T.D[i] {
+				t.Fatalf("n=%d kd=%d: D[%d] differs: %g vs %g", tc.n, tc.kd, i, vo.T.D[i], full.T.D[i])
+			}
+		}
+		for i := range full.T.E {
+			if vo.T.E[i] != full.T.E[i] {
+				t.Fatalf("n=%d kd=%d: E[%d] differs: %g vs %g", tc.n, tc.kd, i, vo.T.E[i], full.T.E[i])
+			}
 		}
 	}
 }

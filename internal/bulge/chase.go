@@ -23,21 +23,29 @@
 package bulge
 
 import (
+	"context"
+
 	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/work"
 )
 
 // Reflector is one elementary Householder transformation of Q₂. The full
 // vector is [1; V] acting on rows Row..Row+len(V) of the matrix, and
 // Q₂ = H(0,0)·H(0,1)⋯H(s,ℓ)⋯ in generation order (sweep-major, level-minor).
 type Reflector struct {
-	Sweep int     // sweep (column) index that generated it
-	Level int     // chase depth: 0 for the xHBCEU reflector
-	Row   int     // global row of the implicit leading 1
+	Sweep int       // sweep (column) index that generated it
+	Level int       // chase depth: 0 for the xHBCEU reflector
+	Row   int       // global row of the implicit leading 1
 	V     []float64 // essential part (length = block length − 1)
 	Tau   float64
 }
+
+// emptyV marks a recorded identity reflector: the slot is filled (V non-nil)
+// but the transformation is trivial. Distinct from an untouched lattice slot
+// whose V is nil.
+var emptyV = []float64{}
 
 // Result is the output of Chase.
 type Result struct {
@@ -47,20 +55,261 @@ type Result struct {
 	T *matrix.Tridiagonal
 	// Refs holds the Q₂ reflectors in generation order. Identity reflectors
 	// (tau = 0) are included so the diamond grouping in backtransform can
-	// rely on the regular (sweep, level) lattice.
+	// rely on the regular (sweep, level) lattice. Nil when the chase was run
+	// with wantQ == false. The V slices may be arena-backed: the Result is
+	// only valid until the arena is recycled.
 	Refs []Reflector
 }
 
+// forEachStep walks the kernel lattice of the chase in sequential order:
+// fn(sw, 0) is the sweep-starting xHBCEU kernel, fn(sw, lvl) for lvl ≥ 1 the
+// combined xHBREL+xHBLRU chase kernel. fn returning false stops the walk.
+func forEachStep(n, bw int, fn func(sw, lvl int) bool) {
+	for sw := 0; sw <= n-3; sw++ {
+		len0 := min(bw, n-1-sw)
+		if len0 < 2 {
+			continue
+		}
+		if !fn(sw, 0) {
+			return
+		}
+		for lvl := 1; ; lvl++ {
+			prevStart := sw + (lvl-1)*bw + 1
+			prevLen := min(bw, n-1-sw-(lvl-1)*bw)
+			nextStart := prevStart + prevLen
+			if prevLen < bw || nextStart > n-1 {
+				break // previous block was the last one
+			}
+			if !fn(sw, lvl) {
+				return
+			}
+			if min(bw, n-1-sw-lvl*bw) < 1 {
+				break
+			}
+		}
+	}
+}
+
+// chaser carries the stage-2 kernel state: the extended working band, the
+// pre-planned reflector lattice (slot (s, ℓ) is known in advance so
+// recording is race-free under the scheduler), the slab the reflector
+// essentials are carved from, and per-worker scratch. Kernel methods
+// re-derive their block geometry from (sweep, level), so the sequential path
+// calls them directly without closures or per-task allocations.
+type chaser struct {
+	w         workBand
+	ws        *work.Arena
+	tc        *trace.Collector
+	refs      []Reflector
+	out       []Reflector // retained Result.Refs storage
+	maxLevels int
+	slab      *work.Slab
+	scratch   [][]float64 // per worker, ≥ bw+1 floats
+}
+
+// outCache bundles the chase outputs that outlive the kernels (the Result
+// and its tridiagonal matrix) so a recycled arena reuses their headers.
+type outCache struct {
+	res Result
+	t   matrix.Tridiagonal
+}
+
+func outFor(ws *work.Arena) *outCache {
+	if oc, ok := ws.Value(work.Stage2Out).(*outCache); ok {
+		return oc
+	}
+	oc := &outCache{}
+	ws.SetValue(work.Stage2Out, oc)
+	return oc
+}
+
+func newChaser(b2 *matrix.SymBand, workers int, ws *work.Arena, tc *trace.Collector) *chaser {
+	n, bw := b2.N, b2.KD
+	c, _ := ws.Value(work.Stage2Chaser).(*chaser)
+	if c == nil {
+		c = &chaser{}
+		ws.SetValue(work.Stage2Chaser, c)
+	}
+	c.w.init(b2, ws)
+	maxLevels := (n + bw - 1) / bw
+
+	// Reflector lattice, retained across solves. Stale entries must be
+	// cleared: the V slices point into the recycled slab.
+	refs, _ := ws.Value(work.Stage2Refs).([]Reflector)
+	if cap(refs) < n*maxLevels {
+		refs = make([]Reflector, n*maxLevels)
+		ws.SetValue(work.Stage2Refs, refs)
+	} else {
+		refs = refs[:n*maxLevels]
+		clear(refs)
+	}
+
+	// Exact slab capacity for every reflector essential.
+	capV := 0
+	forEachStep(n, bw, func(sw, lvl int) bool {
+		if lvl == 0 {
+			capV += min(bw, n-1-sw) - 1
+			return true
+		}
+		prevStart := sw + (lvl-1)*bw + 1
+		prevLen := min(bw, n-1-sw-(lvl-1)*bw)
+		nextLen := min(bw, n-(prevStart+prevLen))
+		if nextLen >= 2 {
+			capV += nextLen - 1
+		}
+		return true
+	})
+
+	c.ws, c.tc, c.refs, c.maxLevels = ws, tc, refs, maxLevels
+	c.slab = ws.SlabOf(work.Stage2Slab, capV)
+	c.scratch = ws.PerWorker(work.Stage2Scratch, workers, bw+1)
+	return c
+}
+
+func (c *chaser) slot(sweep, level int) int { return sweep*c.maxLevels + level }
+
+// startSweep is the xHBCEU kernel: annihilate column sw below the
+// subdiagonal, update the leading triangle two-sidedly.
+func (c *chaser) startSweep(sw, worker int) {
+	n, bw := c.w.n, c.w.bw
+	len0 := min(bw, n-1-sw)
+	r0 := sw + 1
+	v, tau := c.w.larfgColumn(sw, r0, len0, c.slab, c.tc)
+	c.refs[c.slot(sw, 0)] = Reflector{Sweep: sw, Level: 0, Row: r0, V: v, Tau: tau}
+	c.w.symTwoSided(r0, len0, v, tau, c.scratch[worker], c.tc)
+}
+
+// chaseStep is the combined xHBREL+xHBLRU kernel at chase depth lvl ≥ 1.
+func (c *chaser) chaseStep(sw, lvl, worker int) {
+	n, bw := c.w.n, c.w.bw
+	prevStart := sw + (lvl-1)*bw + 1
+	prevLen := min(bw, n-1-sw-(lvl-1)*bw)
+	nextStart := prevStart + prevLen
+	nextLen := min(bw, n-nextStart)
+
+	prev := &c.refs[c.slot(sw, lvl-1)]
+	// xHBREL: right update of the off-diagonal block by the previous
+	// reflector (creates the bulge)…
+	c.w.rightUpdate(nextStart, nextLen, prevStart, prevLen, prev.V, prev.Tau, c.scratch[worker], c.tc)
+	// …then annihilate only the bulge's first column and apply the new
+	// reflector from the left to the rest of the block while it is hot in
+	// cache.
+	var v []float64
+	var tau float64
+	if nextLen >= 2 {
+		v, tau = c.w.larfgColumn(prevStart, nextStart, nextLen, c.slab, c.tc)
+	} else {
+		v, tau = emptyV, 0
+	}
+	c.refs[c.slot(sw, lvl)] = Reflector{Sweep: sw, Level: lvl, Row: nextStart, V: v, Tau: tau}
+	if tau != 0 {
+		c.w.leftUpdate(nextStart, nextLen, prevStart+1, prevLen-1, v, tau, c.tc)
+		// xHBLRU: two-sided update of the next symmetric triangle.
+		c.w.symTwoSided(nextStart, nextLen, v, tau, c.scratch[worker], c.tc)
+	}
+}
+
+// deps returns the conservative access list of kernel (sw, lvl); see
+// blockDeps.
+func (c *chaser) deps(sw, lvl int) []sched.Dep {
+	n, bw := c.w.n, c.w.bw
+	if lvl == 0 {
+		len0 := min(bw, n-1-sw)
+		r0 := sw + 1
+		return blockDeps(&c.w, r0, r0+len0-1, r0, r0+len0-1, sw)
+	}
+	prevStart := sw + (lvl-1)*bw + 1
+	prevLen := min(bw, n-1-sw-(lvl-1)*bw)
+	nextStart := prevStart + prevLen
+	nextLen := min(bw, n-nextStart)
+	return blockDeps(&c.w, nextStart, nextStart+nextLen-1, prevStart, nextStart+nextLen-1, -1)
+}
+
+// runSeq executes the kernels in sequential order on the calling goroutine,
+// checking for cancellation once per sweep. No per-kernel allocations.
+func (c *chaser) runSeq(job *sched.Job) {
+	forEachStep(c.w.n, c.w.bw, func(sw, lvl int) bool {
+		if lvl == 0 {
+			if job.Canceled() {
+				return false
+			}
+			c.startSweep(sw, 0)
+		} else {
+			c.chaseStep(sw, lvl, 0)
+		}
+		return true
+	})
+}
+
+// schedule submits one task per kernel; the scheduler reproduces the
+// sequential order through the conservative block dependences.
+func (c *chaser) schedule(job *sched.Job, affinity uint64) {
+	forEachStep(c.w.n, c.w.bw, func(sw, lvl int) bool {
+		var name string
+		var run func(int)
+		if lvl == 0 {
+			name = kname("HBCEU", sw, 0)
+			run = func(w int) { c.startSweep(sw, w) }
+		} else {
+			name = kname("HBREL+HBLRU", sw, lvl)
+			run = func(w int) { c.chaseStep(sw, lvl, w) }
+		}
+		job.Submit(sched.Task{
+			Name:     name,
+			Priority: 10,
+			Affinity: affinity,
+			Deps:     c.deps(sw, lvl),
+			Run:      run,
+		})
+		return true
+	})
+}
+
+// finish builds the Result after the kernels completed.
+func (c *chaser) finish(res *Result, t *matrix.Tridiagonal, wantQ bool) {
+	c.w.extractTridiagonal(c.ws, t)
+	res.T = t
+	if !wantQ {
+		return
+	}
+	nref := 0
+	for i := range c.refs {
+		if c.refs[i].V != nil {
+			nref++
+		}
+	}
+	if cap(c.out) < nref {
+		c.out = make([]Reflector, 0, nref)
+	}
+	out := c.out[:0]
+	for i := range c.refs {
+		if c.refs[i].V != nil {
+			out = append(out, c.refs[i])
+		}
+	}
+	c.out = out
+	res.Refs = out
+}
+
 // Chase reduces the symmetric band matrix b2 (not modified) to tridiagonal
-// form. If s is non-nil the kernel calls run as scheduler tasks whose
-// dependences reproduce the sequential order exactly (the paper's
-// fine-grained stage-2 scheduling); affinity restricts those tasks to a
-// subset of workers (0 = all), implementing the paper's core restriction
-// for this memory-bound stage. tc may be nil.
-func Chase(b2 *matrix.SymBand, s *sched.Scheduler, affinity uint64, tc *trace.Collector) *Result {
+// form. A nil (or inline) job runs the kernels sequentially — the reference
+// execution the scheduled one must match bit-for-bit — while a
+// scheduler-backed job runs them as tasks whose dependences reproduce the
+// sequential order exactly (the paper's fine-grained stage-2 scheduling);
+// affinity restricts those tasks to a subset of workers (0 = all),
+// implementing the paper's core restriction for this memory-bound stage.
+//
+// wantQ selects whether the Q₂ reflector sequence is accumulated into
+// Result.Refs; values-only solves pass false and skip that work. If the job
+// is canceled the Result's contents are unspecified and the caller must
+// check job.Err. ws may be nil; when non-nil the Result borrows arena
+// storage and is only valid until the arena is recycled. tc may be nil.
+func Chase(b2 *matrix.SymBand, job *sched.Job, affinity uint64, wantQ bool, ws *work.Arena, tc *trace.Collector) *Result {
 	n := b2.N
 	bw := b2.KD
-	res := &Result{N: n, B: bw}
+	oc := outFor(ws)
+	res := &oc.res
+	*res = Result{N: n, B: bw}
 	if n == 0 {
 		res.T = matrix.NewTridiagonal(0)
 		return res
@@ -71,27 +320,14 @@ func Chase(b2 *matrix.SymBand, s *sched.Scheduler, affinity uint64, tc *trace.Co
 		return res
 	}
 
-	// Working copy with room for the bulges.
-	w := newWorkBand(b2)
-
-	refs := chaseKernels(w, tc, func(t sched.Task) {
-		if s == nil {
-			t.Run(0)
-		} else {
-			t.Affinity = affinity
-			s.Submit(t)
-		}
-	})
-	if s != nil {
-		s.Wait()
+	c := newChaser(b2, job.Workers(), ws, tc)
+	if job.Parallel() {
+		c.schedule(job, affinity)
+		job.Wait() // error, if any, surfaces through job.Err at the caller
+	} else {
+		c.runSeq(job)
 	}
-
-	res.T = w.extractTridiagonal()
-	for i := range refs {
-		if refs[i].V != nil {
-			res.Refs = append(res.Refs, refs[i])
-		}
-	}
+	c.finish(res, &oc.t, wantQ)
 	return res
 }
 
@@ -100,125 +336,57 @@ func Chase(b2 *matrix.SymBand, s *sched.Scheduler, affinity uint64, tc *trace.Co
 // assigned to workers round-robin in generation order and cross-worker
 // ordering is enforced by explicit After edges derived from the same
 // conservative block resources the dynamic scheduler uses. The result is
-// bitwise identical to Chase.
-func ChaseStatic(b2 *matrix.SymBand, workers int, tc *trace.Collector) *Result {
+// bitwise identical to Chase. On ctx cancellation the workers stop at a
+// task boundary and the context error is returned with a nil Result.
+func ChaseStatic(ctx context.Context, b2 *matrix.SymBand, workers int, wantQ bool, ws *work.Arena, tc *trace.Collector) (*Result, error) {
 	n := b2.N
 	bw := b2.KD
-	res := &Result{N: n, B: bw}
+	oc := outFor(ws)
+	res := &oc.res
+	*res = Result{N: n, B: bw}
 	if n == 0 {
 		res.T = matrix.NewTridiagonal(0)
-		return res
+		return res, nil
 	}
 	if bw <= 1 {
 		res.T = matrix.TridiagonalFromBand(b2)
-		return res
+		return res, nil
 	}
-	w := newWorkBand(b2)
+	if workers < 1 {
+		workers = 1
+	}
+	c := newChaser(b2, workers, ws, tc)
 
 	var tasks []sched.StaticTask
 	lastUser := map[int]int{} // resource → index of the last task touching it
-	refs := chaseKernels(w, tc, func(t sched.Task) {
+	forEachStep(n, bw, func(sw, lvl int) bool {
+		var name string
+		var run func(int)
+		if lvl == 0 {
+			name = kname("HBCEU", sw, 0)
+			run = func(w int) { c.startSweep(sw, w) }
+		} else {
+			name = kname("HBREL+HBLRU", sw, lvl)
+			run = func(w int) { c.chaseStep(sw, lvl, w) }
+		}
 		idx := len(tasks)
 		var after []int
 		seen := map[int]bool{}
-		for _, d := range t.Deps {
+		for _, d := range c.deps(sw, lvl) {
 			if prev, ok := lastUser[d.Resource]; ok && !seen[prev] {
 				after = append(after, prev)
 				seen[prev] = true
 			}
 			lastUser[d.Resource] = idx
 		}
-		tasks = append(tasks, sched.StaticTask{Name: t.Name, Run: t.Run, After: after})
+		tasks = append(tasks, sched.StaticTask{Name: name, Run: run, After: after})
+		return true
 	})
-	if workers < 1 {
-		workers = 1
+	if err := sched.RunStaticCtx(ctx, sched.RoundRobinSchedule(tasks, workers)); err != nil {
+		return nil, err
 	}
-	sched.RunStatic(sched.RoundRobinSchedule(tasks, workers))
-
-	res.T = w.extractTridiagonal()
-	for i := range refs {
-		if refs[i].V != nil {
-			res.Refs = append(res.Refs, refs[i])
-		}
-	}
-	return res
-}
-
-// chaseKernels generates the kernel tasks of the chase in sequential order,
-// handing each to submit; it returns the reflector lattice (slots may be
-// empty). The caller owns synchronization: every task's Deps describe its
-// footprint via conservative row-block resources.
-func chaseKernels(w *workBand, tc *trace.Collector, submit func(sched.Task)) []Reflector {
-	n, bw := w.n, w.bw
-	// Pre-plan the reflector lattice so recording is race-free under the
-	// scheduler: slot (s, ℓ) is known in advance.
-	maxLevels := (n + bw - 1) / bw
-	slot := func(sweep, level int) int { return sweep*maxLevels + level }
-	refs := make([]Reflector, n*maxLevels)
-
-	for sw := 0; sw <= n-3; sw++ {
-		sw := sw
-		len0 := min(bw, n-1-sw)
-		if len0 < 2 {
-			continue
-		}
-		// xHBCEU: annihilate column sw below the subdiagonal, update the
-		// leading triangle two-sidedly.
-		r0 := sw + 1
-		submit(sched.Task{
-			Name:     kname("HBCEU", sw, 0),
-			Priority: 10,
-			Deps:     blockDeps(w, r0, r0+len0-1, r0, r0+len0-1, sw),
-			Run: func(int) {
-				v, tau := w.larfgColumn(sw, r0, len0, tc)
-				refs[slot(sw, 0)] = Reflector{Sweep: sw, Level: 0, Row: r0, V: v, Tau: tau}
-				w.symTwoSided(r0, len0, v, tau, tc)
-			},
-		})
-		// Chase down the band.
-		for lvl := 1; ; lvl++ {
-			prevStart := sw + (lvl-1)*bw + 1
-			prevLen := min(bw, n-1-sw-(lvl-1)*bw)
-			nextStart := prevStart + prevLen // == sw + lvl*bw + 1 except at the end
-			if prevLen < bw || nextStart > n-1 {
-				break // previous block was the last one
-			}
-			nextLen := min(bw, n-nextStart)
-			lvl := lvl
-			submit(sched.Task{
-				Name:     kname("HBREL+HBLRU", sw, lvl),
-				Priority: 10,
-				Deps:     blockDeps(w, nextStart, nextStart+nextLen-1, prevStart, nextStart+nextLen-1, -1),
-				Run: func(int) {
-					prev := &refs[slot(sw, lvl-1)]
-					// xHBREL: right update of the off-diagonal block by the
-					// previous reflector (creates the bulge)…
-					w.rightUpdate(nextStart, nextLen, prevStart, prevLen, prev.V, prev.Tau, tc)
-					// …then annihilate only the bulge's first column and
-					// apply the new reflector from the left to the rest of
-					// the block while it is hot in cache.
-					var v []float64
-					var tau float64
-					if nextLen >= 2 {
-						v, tau = w.larfgColumn(prevStart, nextStart, nextLen, tc)
-					} else {
-						v, tau = []float64{}, 0
-					}
-					refs[slot(sw, lvl)] = Reflector{Sweep: sw, Level: lvl, Row: nextStart, V: v, Tau: tau}
-					if tau != 0 {
-						w.leftUpdate(nextStart, nextLen, prevStart+1, prevLen-1, v, tau, tc)
-						// xHBLRU: two-sided update of the next symmetric
-						// triangle.
-						w.symTwoSided(nextStart, nextLen, v, tau, tc)
-					}
-				},
-			})
-			if min(bw, n-1-sw-lvl*bw) < 1 {
-				break
-			}
-		}
-	}
-	return refs
+	c.finish(res, &oc.t, wantQ)
+	return res, nil
 }
 
 // kname builds a task name without fmt to keep submission cheap.

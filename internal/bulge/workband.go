@@ -4,6 +4,7 @@ import (
 	"repro/internal/householder"
 	"repro/internal/matrix"
 	"repro/internal/trace"
+	"repro/internal/work"
 )
 
 // workBand is the extended-band working storage for the chase: the original
@@ -11,26 +12,28 @@ import (
 // Lower band layout: element (i, j), j ≤ i ≤ j+kd, lives at
 // data[(i−j) + j·lda].
 type workBand struct {
-	n   int
-	bw  int // original bandwidth
-	kd  int // working bandwidth (≤ 2bw−1)
-	lda int
+	n    int
+	bw   int // original bandwidth
+	kd   int // working bandwidth (≤ 2bw−1)
+	lda  int
 	data []float64
 }
 
-func newWorkBand(b *matrix.SymBand) *workBand {
+// init copies b into extended-band storage from the arena. The bulge region
+// must start zeroed, which the arena guarantees (and a fresh allocation
+// trivially provides).
+func (w *workBand) init(b *matrix.SymBand, ws *work.Arena) {
 	kd := min(2*b.KD-1, b.N-1)
 	if kd < b.KD {
 		kd = b.KD
 	}
-	w := &workBand{n: b.N, bw: b.KD, kd: kd, lda: kd + 1}
-	w.data = make([]float64, w.lda*b.N)
+	*w = workBand{n: b.N, bw: b.KD, kd: kd, lda: kd + 1}
+	w.data = ws.Floats(work.Stage2Work, w.lda*b.N, true)
 	for j := 0; j < b.N; j++ {
 		for i := j; i <= min(b.N-1, j+b.KD); i++ {
 			w.data[(i-j)+j*w.lda] = b.Data[(i-j)+j*b.LDA]
 		}
 	}
-	return w
 }
 
 func (w *workBand) at(i, j int) float64 {
@@ -63,11 +66,12 @@ func (w *workBand) col(j, r0, length int) []float64 {
 
 // larfgColumn generates the reflector annihilating all but the first entry
 // of B[r0 : r0+length, c], writes the annihilated column back (beta then
-// zeros), and returns the essential part and tau.
-func (w *workBand) larfgColumn(c, r0, length int, tc *trace.Collector) ([]float64, float64) {
+// zeros), and returns the essential part (carved from slab) and tau.
+func (w *workBand) larfgColumn(c, r0, length int, slab *work.Slab, tc *trace.Collector) ([]float64, float64) {
 	x := w.col(c, r0, length)
 	beta, tau := householder.Larfg(length, x[0], x[1:], 1)
-	v := append([]float64(nil), x[1:]...)
+	v := slab.Take(length - 1)
+	copy(v, x[1:])
 	x[0] = beta
 	for i := 1; i < length; i++ {
 		x[i] = 0
@@ -79,13 +83,14 @@ func (w *workBand) larfgColumn(c, r0, length int, tc *trace.Collector) ([]float6
 // symTwoSided applies H = I − τ·u·uᵀ (u = [1; v]) two-sidedly to the
 // symmetric block starting at index r0 with the given length:
 // S := H·S·H via the standard rank-2 form S −= u·wᵀ + w·uᵀ,
-// w = τ·S·u − (τ²/2)(uᵀSu)·u.
-func (w *workBand) symTwoSided(r0, length int, v []float64, tau float64, tc *trace.Collector) {
+// w = τ·S·u − (τ²/2)(uᵀSu)·u. scratch must hold ≥ length floats.
+func (w *workBand) symTwoSided(r0, length int, v []float64, tau float64, scratch []float64, tc *trace.Collector) {
 	if tau == 0 || length == 0 {
 		return
 	}
 	// p = τ·S·u using the lower-stored symmetric block.
-	p := make([]float64, length)
+	p := scratch[:length]
+	clear(p)
 	for j := 0; j < length; j++ {
 		uj := 1.0
 		if j > 0 {
@@ -132,13 +137,15 @@ func (w *workBand) symTwoSided(r0, length int, v []float64, tau float64, tc *tra
 
 // rightUpdate applies H from the right to the block
 // G = B[r0 : r0+rlen, c0 : c0+clen]:  G := G·(I − τ·u·uᵀ), u = [1; v] over
-// the columns. This is the bulge-creating update of xHBREL.
-func (w *workBand) rightUpdate(r0, rlen, c0, clen int, v []float64, tau float64, tc *trace.Collector) {
+// the columns. This is the bulge-creating update of xHBREL. scratch must
+// hold ≥ rlen floats.
+func (w *workBand) rightUpdate(r0, rlen, c0, clen int, v []float64, tau float64, scratch []float64, tc *trace.Collector) {
 	if tau == 0 || rlen == 0 || clen == 0 {
 		return
 	}
 	// t = G·u.
-	t := make([]float64, rlen)
+	t := scratch[:rlen]
+	clear(t)
 	for j := 0; j < clen; j++ {
 		uj := 1.0
 		if j > 0 {
@@ -186,14 +193,15 @@ func (w *workBand) leftUpdate(r0, rlen, c0, clen int, v []float64, tau float64, 
 	tc.AddFlops(trace.KGemv, 4*int64(rlen)*int64(clen))
 }
 
-// extractTridiagonal reads T off the fully chased band.
-func (w *workBand) extractTridiagonal() *matrix.Tridiagonal {
-	t := matrix.NewTridiagonal(w.n)
+// extractTridiagonal reads T off the fully chased band into t, drawing the
+// d/e storage from the arena (fresh when ws is nil).
+func (w *workBand) extractTridiagonal(ws *work.Arena, t *matrix.Tridiagonal) {
+	t.D = ws.Floats(work.Stage2OutD, w.n, false)
+	t.E = ws.Floats(work.Stage2OutE, max(0, w.n-1), false)
 	for i := 0; i < w.n; i++ {
 		t.D[i] = w.at(i, i)
 		if i+1 < w.n {
 			t.E[i] = w.at(i+1, i)
 		}
 	}
-	return t
 }

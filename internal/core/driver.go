@@ -6,9 +6,14 @@
 // solvers and report per-phase timings through a trace.Collector, which is
 // how the paper's Figure 1 breakdowns and Figure 4 speedups are
 // regenerated.
+//
+// The drivers take a context for cancellation and, through Options, an
+// optional shared scheduler and workspace arena so a long-lived Solver can
+// run many solves without re-spawning workers or re-allocating workspace.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/backtransform"
@@ -20,6 +25,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/tridiag"
+	"repro/internal/work"
 )
 
 // Method selects the tridiagonal eigensolver, mirroring the three LAPACK
@@ -55,7 +61,8 @@ type Options struct {
 	// NB is the tile size / bandwidth for the two-stage driver and the
 	// panel width for the one-stage driver (≤ 0 → defaults).
 	NB int
-	// Workers is the task-scheduler width; ≤ 1 runs sequentially.
+	// Workers is the task-scheduler width; ≤ 1 runs sequentially. Ignored
+	// when Sched is set.
 	Workers int
 	// Stage2Workers restricts the bulge-chasing tasks to this many workers
 	// (the paper's core-restriction: the stage is memory-bound, and using
@@ -83,15 +90,29 @@ type Options struct {
 	ColBlock int
 	// Collector receives flop counts and per-phase timings; may be nil.
 	Collector *trace.Collector
+
+	// Sched, when non-nil, is a long-lived scheduler the solve runs on; the
+	// driver creates a fresh Job per phase and never shuts it down. When nil
+	// and Workers > 1, a transient scheduler is created for this solve.
+	Sched *sched.Scheduler
+	// Arena, when non-nil, supplies every internal workspace; buffers are
+	// keyed by use and grown on demand, so a recycled arena makes repeated
+	// same-size solves allocation-free in steady state. Nil means fresh
+	// allocation everywhere (one-shot behaviour).
+	Arena *work.Arena
+	// Dst, when non-nil and correctly sized (n × k for the requested range),
+	// receives the eigenvectors in place of a freshly allocated matrix.
+	Dst *matrix.Dense
 }
 
 // Result of an eigensolve.
 type Result struct {
 	// Values are the computed eigenvalues in ascending order (the requested
-	// range).
+	// range). The slice is freshly allocated and owned by the caller.
 	Values []float64
 	// Vectors holds the corresponding eigenvectors in its columns when
-	// requested, else nil.
+	// requested, else nil. It is Options.Dst when that was supplied, else a
+	// freshly allocated matrix; never arena-backed.
 	Vectors *matrix.Dense
 }
 
@@ -106,10 +127,31 @@ func (o *Options) indexRange(n int) (il, iu int, err error) {
 	return il, iu, nil
 }
 
+// phaseJob makes the per-phase task stream: scheduler-backed when a pool is
+// available, else an inline job that still honors ctx between kernels.
+func phaseJob(s *sched.Scheduler, ctx context.Context) *sched.Job {
+	if s != nil {
+		return s.NewJob(ctx)
+	}
+	if ctx != nil {
+		return sched.Inline(ctx)
+	}
+	return nil
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // SyevTwoStage computes eigenpairs of the dense symmetric matrix a (only
 // symmetry is assumed; both triangles are read) with the paper's two-stage
-// algorithm. a is not modified.
-func SyevTwoStage(a *matrix.Dense, o Options) (*Result, error) {
+// algorithm. a is not modified. ctx may be nil (no cancellation); on
+// cancellation the context's error is returned and any shared scheduler in
+// o.Sched remains usable.
+func SyevTwoStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, error) {
 	n := a.Rows
 	if a.Cols != n {
 		return nil, fmt.Errorf("core: matrix must be square, got %d×%d", n, a.Cols)
@@ -121,41 +163,69 @@ func SyevTwoStage(a *matrix.Dense, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	tc := o.Collector
+	ws := o.Arena
 
-	var s *sched.Scheduler
-	if o.Workers > 1 {
+	s := o.Sched
+	if s == nil && o.Workers > 1 {
 		s = sched.New(o.Workers)
 		defer s.Shutdown()
 	}
 	var stage2Aff uint64
-	if s != nil && o.Stage2Workers > 0 && o.Stage2Workers < o.Workers {
+	workers := 1
+	if s != nil {
+		workers = s.Workers()
+	}
+	if s != nil && o.Stage2Workers > 0 && o.Stage2Workers < workers {
 		stage2Aff = (uint64(1) << uint(o.Stage2Workers)) - 1
 	}
 
-	// Stage 1: dense → band.
-	work := a.Clone()
+	// Stage 1: dense → band. Without a scheduler one inline job serves
+	// every phase (it carries no per-phase state, only the ctx); with a
+	// scheduler each phase gets a fresh Job.
+	aw := ws.Dense(work.Stage1Dense, n, n, false)
+	aw.CopyFrom(a)
 	var f1 *band.Factor
+	job := phaseJob(s, ctx)
 	tc.Phase(trace.PhaseStage1, func() {
-		f1 = band.Reduce(work, o.NB, s, tc)
+		f1 = band.Reduce(aw, o.NB, job, ws, tc)
 	})
+	if err := job.Err(); err != nil {
+		return nil, err
+	}
 
-	// Stage 2: band → tridiagonal.
+	// Stage 2: band → tridiagonal. Skip reflector accumulation when no
+	// vectors are wanted — the back-transformation never runs.
 	var chase *bulge.Result
-	tc.Phase(trace.PhaseStage2, func() {
-		if o.Stage2Static {
-			wkr := o.Stage2Workers
-			if wkr <= 0 {
-				wkr = max(1, o.Workers)
-			}
-			chase = bulge.ChaseStatic(f1.Band, wkr, tc)
-		} else {
-			chase = bulge.Chase(f1.Band, s, stage2Aff, tc)
+	if o.Stage2Static {
+		wkr := o.Stage2Workers
+		if wkr <= 0 {
+			wkr = max(1, workers)
 		}
-	})
+		var serr error
+		tc.Phase(trace.PhaseStage2, func() {
+			chase, serr = bulge.ChaseStatic(ctx, f1.Band, wkr, o.Vectors, ws, tc)
+		})
+		if serr != nil {
+			return nil, serr
+		}
+	} else {
+		if s != nil {
+			job = s.NewJob(ctx)
+		}
+		tc.Phase(trace.PhaseStage2, func() {
+			chase = bulge.Chase(f1.Band, job, stage2Aff, o.Vectors, ws, tc)
+		})
+		if err := job.Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	// Phase 2 of the eigensolver: eigenpairs of T.
-	vals, evecs, err := solveTridiagonal(chase.T, o.Method, o.Vectors, il, iu, tc)
+	vals, evecs, err := solveTridiagonal(chase.T, o.Method, o.Vectors, il, iu, ws, o.Dst, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -163,15 +233,30 @@ func SyevTwoStage(a *matrix.Dense, o Options) (*Result, error) {
 	if !o.Vectors {
 		return res, nil
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	// Back-transformation: Z = Q₁·(Q₂·E).
+	if s != nil {
+		job = s.NewJob(ctx)
+	}
 	tc.Phase(trace.PhaseUpdateQ2, func() {
-		plan := backtransform.NewPlan(chase, o.Group)
-		plan.Apply(evecs, s, o.ColBlock, tc)
+		plan := backtransform.NewPlan(chase, o.Group, ws)
+		plan.Apply(evecs, job, o.ColBlock, tc)
 	})
+	if err := job.Err(); err != nil {
+		return nil, err
+	}
+	if s != nil {
+		job = s.NewJob(ctx)
+	}
 	tc.Phase(trace.PhaseUpdateQ1, func() {
-		f1.ApplyQ1(blas.NoTrans, evecs, s, o.ColBlock, tc)
+		f1.ApplyQ1(blas.NoTrans, evecs, job, o.ColBlock, tc)
 	})
+	if err := job.Err(); err != nil {
+		return nil, err
+	}
 	res.Vectors = evecs
 	return res, nil
 }
@@ -179,7 +264,7 @@ func SyevTwoStage(a *matrix.Dense, o Options) (*Result, error) {
 // SyevOneStage computes the same eigenpairs with the classic one-stage
 // algorithm (blocked SYTRD + back-transformation), the MKL-equivalent
 // baseline of the paper's Figure 4. a is not modified.
-func SyevOneStage(a *matrix.Dense, o Options) (*Result, error) {
+func SyevOneStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, error) {
 	n := a.Rows
 	if a.Cols != n {
 		return nil, fmt.Errorf("core: matrix must be square, got %d×%d", n, a.Cols)
@@ -191,15 +276,23 @@ func SyevOneStage(a *matrix.Dense, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	tc := o.Collector
+	ws := o.Arena
 
-	work := a.Clone()
+	aw := ws.Dense(work.Stage1Dense, n, n, false)
+	aw.CopyFrom(a)
 	var d, e, tau []float64
 	tc.Phase(trace.PhaseReduction, func() {
-		d, e, tau = onestage.Sytrd(work, o.NB, tc)
+		d, e, tau = onestage.Sytrd(aw, o.NB, ws, tc)
 	})
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	t := &matrix.Tridiagonal{D: d, E: e}
-	vals, evecs, err := solveTridiagonal(t, o.Method, o.Vectors, il, iu, tc)
+	vals, evecs, err := solveTridiagonal(t, o.Method, o.Vectors, il, iu, ws, o.Dst, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -207,57 +300,101 @@ func SyevOneStage(a *matrix.Dense, o Options) (*Result, error) {
 	if !o.Vectors {
 		return res, nil
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	tc.Phase(trace.PhaseBacktrans, func() {
-		onestage.ApplyQ(work, tau, blas.NoTrans, evecs, o.NB, tc)
+		onestage.ApplyQ(aw, tau, blas.NoTrans, evecs, o.NB, ws, tc)
 	})
 	res.Vectors = evecs
 	return res, nil
 }
 
+// dcWork returns the arena's retained tridiag.Work pool, creating it on
+// first use. Nil arena → nil pool (plain allocation inside the solver).
+func dcWork(ws *work.Arena) *tridiag.Work {
+	if ws == nil {
+		return nil
+	}
+	if v := ws.Value(work.TridiagWork); v != nil {
+		return v.(*tridiag.Work)
+	}
+	tw := tridiag.NewWork()
+	ws.SetValue(work.TridiagWork, tw)
+	return tw
+}
+
+// intoVectors materializes the n×k eigenvector block src into dst when dst
+// has the right shape, else into a fresh matrix. The result never aliases
+// arena- or pool-owned storage.
+func intoVectors(dst *matrix.Dense, src *matrix.Dense) *matrix.Dense {
+	if dst != nil && dst.Rows == src.Rows && dst.Cols == src.Cols {
+		dst.CopyFrom(src)
+		return dst
+	}
+	return src.Clone()
+}
+
 // solveTridiagonal dispatches to the selected tridiagonal eigensolver and
 // returns the [il, iu] slice of the spectrum (and vectors when requested).
-func solveTridiagonal(t *matrix.Tridiagonal, m Method, vectors bool, il, iu int, tc *trace.Collector) (vals []float64, evecs *matrix.Dense, err error) {
+// The returned slices/matrices are caller-owned copies, never arena-backed.
+func solveTridiagonal(t *matrix.Tridiagonal, m Method, vectors bool, il, iu int, ws *work.Arena, dst *matrix.Dense, tc *trace.Collector) (vals []float64, evecs *matrix.Dense, err error) {
 	n := t.N()
 	k := iu - il + 1
 	tc.Phase(trace.PhaseEigT, func() {
+		// Scratch copies of (d, e): the solvers destroy their inputs.
+		scratch := func() (d, e []float64) {
+			d = ws.Floats(work.TridiagD, n, false)
+			e = ws.Floats(work.TridiagE, max(0, n-1), false)
+			copy(d, t.D)
+			copy(e, t.E)
+			return d, e
+		}
 		if !vectors {
 			switch m {
 			case MethodBI:
-				d := append([]float64(nil), t.D...)
-				e := append([]float64(nil), t.E...)
+				d, e := scratch()
 				vals = tridiag.Stebz(d, e, il, iu)
 			default:
-				d := append([]float64(nil), t.D...)
-				e := append([]float64(nil), t.E...)
+				d, e := scratch()
 				if err = tridiag.Sterf(d, e); err == nil {
-					vals = d[il-1 : iu]
+					vals = append([]float64(nil), d[il-1:iu]...)
 				}
 			}
 			return
 		}
 		switch m {
 		case MethodDC:
+			tw := dcWork(ws)
+			var dv []float64
 			var q *matrix.Dense
-			vals, q, err = tridiag.Stedc(t.D, t.E)
+			dv, q, err = tridiag.StedcWork(t.D, t.E, tw)
 			if err != nil {
 				return
 			}
-			vals = vals[il-1 : iu]
-			evecs = q.View(0, il-1, n, k).Clone()
+			vals = append([]float64(nil), dv[il-1:iu]...)
+			evecs = intoVectors(dst, q.View(0, il-1, n, k))
+			tw.PutVec(dv)
+			tw.PutMat(q)
 		case MethodBI:
-			d := append([]float64(nil), t.D...)
-			e := append([]float64(nil), t.E...)
+			d, e := scratch()
 			vals = tridiag.Stebz(d, e, il, iu)
 			evecs, err = tridiag.Stein(t.D, t.E, vals)
+			if err == nil && dst != nil && dst.Rows == n && dst.Cols == k {
+				dst.CopyFrom(evecs)
+				evecs = dst
+			}
 		case MethodQR:
-			d := append([]float64(nil), t.D...)
-			e := append([]float64(nil), t.E...)
-			q := matrix.Eye(n)
-			if err = tridiag.Steqr(d, e, q); err != nil {
+			d, e := scratch()
+			q := ws.Dense(work.VectorStage, n, n, true)
+			for i := 0; i < n; i++ {
+				q.Data[i+i*q.Stride] = 1
+			}
+			if err = tridiag.SteqrWork(d, e, q, dcWork(ws)); err != nil {
 				return
 			}
-			vals = d[il-1 : iu]
-			evecs = q.View(0, il-1, n, k).Clone()
+			vals = append([]float64(nil), d[il-1:iu]...)
+			evecs = intoVectors(dst, q.View(0, il-1, n, k))
 		default:
 			err = fmt.Errorf("core: unknown method %v", m)
 		}

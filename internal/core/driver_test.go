@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -47,7 +48,7 @@ func TestTwoStageAllMethodsPlantedSpectrum(t *testing.T) {
 	want := append([]float64(nil), spec...)
 	sort.Float64s(want)
 	for _, m := range []Method{MethodDC, MethodBI, MethodQR} {
-		res, err := SyevTwoStage(a, Options{Method: m, Vectors: true, NB: 8})
+		res, err := SyevTwoStage(context.Background(), a, Options{Method: m, Vectors: true, NB: 8})
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -62,7 +63,7 @@ func TestOneStageAllMethodsPlantedSpectrum(t *testing.T) {
 	want := append([]float64(nil), spec...)
 	sort.Float64s(want)
 	for _, m := range []Method{MethodDC, MethodBI, MethodQR} {
-		res, err := SyevOneStage(a, Options{Method: m, Vectors: true, NB: 8})
+		res, err := SyevOneStage(context.Background(), a, Options{Method: m, Vectors: true, NB: 8})
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -73,11 +74,11 @@ func TestOneStageAllMethodsPlantedSpectrum(t *testing.T) {
 func TestTwoStageMatchesOneStage(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	a := testmat.RandomSym(rng, 70)
-	r1, err := SyevOneStage(a, Options{Method: MethodDC, NB: 8})
+	r1, err := SyevOneStage(context.Background(), a, Options{Method: MethodDC, NB: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := SyevTwoStage(a, Options{Method: MethodDC, NB: 8})
+	r2, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, NB: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +90,11 @@ func TestTwoStageMatchesOneStage(t *testing.T) {
 func TestTwoStageParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	a := testmat.RandomSym(rng, 48)
-	seq, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8, Workers: 1})
+	seq, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8, Workers: 4, Stage2Workers: 2})
+	par, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8, Workers: 4, Stage2Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,13 +115,13 @@ func TestSubsetBI(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	n := 60
 	a := testmat.RandomSym(rng, n)
-	full, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8})
+	full, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 20% of the spectrum — the paper's Figure 4d scenario.
 	il, iu := 1, n/5
-	sub, err := SyevTwoStage(a, Options{Method: MethodBI, Vectors: true, NB: 8, IL: il, IU: iu})
+	sub, err := SyevTwoStage(context.Background(), a, Options{Method: MethodBI, Vectors: true, NB: 8, IL: il, IU: iu})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +142,11 @@ func TestSubsetSliceMethods(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	n := 40
 	a := testmat.RandomSym(rng, n)
-	full, err := SyevOneStage(a, Options{Method: MethodDC, Vectors: true, NB: 8})
+	full, err := SyevOneStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := SyevOneStage(a, Options{Method: MethodDC, Vectors: true, NB: 8, IL: 11, IU: 20})
+	sub, err := SyevOneStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8, IL: 11, IU: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,14 +160,14 @@ func TestValuesOnly(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	a := testmat.RandomSym(rng, 50)
 	for _, m := range []Method{MethodDC, MethodBI, MethodQR} {
-		r1, err := SyevTwoStage(a, Options{Method: m, NB: 8})
+		r1, err := SyevTwoStage(context.Background(), a, Options{Method: m, NB: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if r1.Vectors != nil {
 			t.Fatalf("%v: vectors returned without being requested", m)
 		}
-		r2, err := SyevTwoStage(a, Options{Method: m, Vectors: true, NB: 8})
+		r2, err := SyevTwoStage(context.Background(), a, Options{Method: m, Vectors: true, NB: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,7 +184,7 @@ func TestClusteredSpectrumOrthogonality(t *testing.T) {
 	spec := testmat.ClusteredSpectrum(48, 4, 1e-10)
 	a := testmat.WithSpectrum(rng, spec)
 	for _, m := range []Method{MethodDC, MethodBI} {
-		res, err := SyevTwoStage(a, Options{Method: m, Vectors: true, NB: 8})
+		res, err := SyevTwoStage(context.Background(), a, Options{Method: m, Vectors: true, NB: 8})
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -195,7 +196,7 @@ func TestPhaseTimings(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	a := testmat.RandomSym(rng, 64)
 	tc := trace.New()
-	if _, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8, Collector: tc}); err != nil {
+	if _, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8, Collector: tc}); err != nil {
 		t.Fatal(err)
 	}
 	for _, ph := range []string{trace.PhaseStage1, trace.PhaseStage2, trace.PhaseEigT, trace.PhaseUpdateQ2, trace.PhaseUpdateQ1} {
@@ -215,7 +216,7 @@ func TestDegenerateSizes(t *testing.T) {
 			a.Set(i, i, float64(i+1))
 		}
 		for _, m := range []Method{MethodDC, MethodBI, MethodQR} {
-			res, err := SyevTwoStage(a, Options{Method: m, Vectors: n > 0, NB: 4})
+			res, err := SyevTwoStage(context.Background(), a, Options{Method: m, Vectors: n > 0, NB: 4})
 			if err != nil {
 				t.Fatalf("n=%d %v: %v", n, m, err)
 			}
@@ -233,14 +234,14 @@ func TestDegenerateSizes(t *testing.T) {
 
 func TestBadInputs(t *testing.T) {
 	a := matrix.NewDense(4, 3)
-	if _, err := SyevTwoStage(a, Options{}); err == nil {
+	if _, err := SyevTwoStage(context.Background(), a, Options{}); err == nil {
 		t.Fatal("non-square matrix accepted")
 	}
 	b := matrix.NewDense(4, 4)
-	if _, err := SyevTwoStage(b, Options{IL: 3, IU: 2}); err == nil {
+	if _, err := SyevTwoStage(context.Background(), b, Options{IL: 3, IU: 2}); err == nil {
 		t.Fatal("inverted index range accepted")
 	}
-	if _, err := SyevOneStage(b, Options{IL: 0, IU: 9}); err == nil {
+	if _, err := SyevOneStage(context.Background(), b, Options{IL: 0, IU: 9}); err == nil {
 		t.Fatal("out-of-range index accepted")
 	}
 }
@@ -250,7 +251,7 @@ func TestNBRobustness(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	for _, tc := range []struct{ n, nb int }{{30, 7}, {33, 32}, {33, 33}, {33, 40}, {16, 1}, {17, 2}} {
 		a := testmat.RandomSym(rng, tc.n)
-		res, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: tc.nb})
+		res, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: tc.nb})
 		if err != nil {
 			t.Fatalf("n=%d nb=%d: %v", tc.n, tc.nb, err)
 		}
@@ -261,11 +262,11 @@ func TestNBRobustness(t *testing.T) {
 func TestStage2StaticMatchesDynamic(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	a := testmat.RandomSym(rng, 44)
-	dyn, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8})
+	dyn, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8, Stage2Static: true, Stage2Workers: 3})
+	st, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8, Stage2Static: true, Stage2Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestScalingRobustness(t *testing.T) {
 	// deflation thresholds).
 	rng := rand.New(rand.NewSource(12))
 	base := testmat.RandomSym(rng, 32)
-	ref, err := SyevTwoStage(base, Options{Method: MethodDC, Vectors: true, NB: 8})
+	ref, err := SyevTwoStage(context.Background(), base, Options{Method: MethodDC, Vectors: true, NB: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestScalingRobustness(t *testing.T) {
 		for i := range a.Data {
 			a.Data[i] *= s
 		}
-		res, err := SyevTwoStage(a, Options{Method: MethodDC, Vectors: true, NB: 8})
+		res, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8})
 		if err != nil {
 			t.Fatalf("scale %g: %v", s, err)
 		}
@@ -319,7 +320,7 @@ func TestPipelinePropertyQuick(t *testing.T) {
 		nb := 1 + rng.Intn(n)
 		m := []Method{MethodDC, MethodBI, MethodQR}[rng.Intn(3)]
 		a := testmat.RandomSym(rng, n)
-		res, err := SyevTwoStage(a, Options{Method: m, Vectors: true, NB: nb})
+		res, err := SyevTwoStage(context.Background(), a, Options{Method: m, Vectors: true, NB: nb})
 		if err != nil {
 			t.Logf("seed %d (n=%d nb=%d %v): %v", seed, n, nb, m, err)
 			return false
@@ -350,9 +351,9 @@ func TestRankDeficientAndSpecialMatrices(t *testing.T) {
 		var res *Result
 		var err error
 		if alg {
-			res, err = SyevTwoStage(rank1, Options{Method: MethodDC, Vectors: true, NB: 6})
+			res, err = SyevTwoStage(context.Background(), rank1, Options{Method: MethodDC, Vectors: true, NB: 6})
 		} else {
-			res, err = SyevOneStage(rank1, Options{Method: MethodDC, Vectors: true, NB: 6})
+			res, err = SyevOneStage(context.Background(), rank1, Options{Method: MethodDC, Vectors: true, NB: 6})
 		}
 		if err != nil {
 			t.Fatal(err)

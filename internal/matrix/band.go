@@ -7,9 +7,9 @@ import "fmt"
 // j ≤ i ≤ j+KD is stored at Data[(i-j) + j*LDA] where LDA ≥ KD+1. The upper
 // triangle is implied by symmetry.
 type SymBand struct {
-	N   int // matrix order
-	KD  int // number of subdiagonals retained
-	LDA int // leading dimension of band storage (≥ KD+1)
+	N    int // matrix order
+	KD   int // number of subdiagonals retained
+	LDA  int // leading dimension of band storage (≥ KD+1)
 	Data []float64
 }
 
@@ -23,6 +23,21 @@ func NewSymBand(n, kd int) *SymBand {
 		kd = n - 1
 	}
 	return &SymBand{N: n, KD: kd, LDA: kd + 1, Data: make([]float64, (kd+1)*n)}
+}
+
+// NewSymBandFrom wraps existing band storage (length ≥ (kd+1)·n) without
+// copying; used by pooled workspaces.
+func NewSymBandFrom(n, kd int, data []float64) *SymBand {
+	if n < 0 || kd < 0 {
+		panic("matrix: negative band dimension")
+	}
+	if kd >= n && n > 0 {
+		kd = n - 1
+	}
+	if len(data) < (kd+1)*n {
+		panic("matrix: band data slice too short")
+	}
+	return &SymBand{N: n, KD: kd, LDA: kd + 1, Data: data[:(kd+1)*n]}
 }
 
 // InBand reports whether (i, j) lies within the stored band (including the

@@ -5,6 +5,7 @@ import (
 	"repro/internal/householder"
 	"repro/internal/matrix"
 	"repro/internal/trace"
+	"repro/internal/work"
 )
 
 // ApplyQ applies the orthogonal matrix Q from Sytrd (packed in the lower
@@ -18,7 +19,7 @@ import (
 // makes the one-stage back-transformation run at Level-3 speed (the "Update
 // Z = 2n³·f" term in the paper's Eq. 4). This is the equivalent of LAPACK's
 // DORMTR(side='L', uplo='L').
-func ApplyQ(a *matrix.Dense, tau []float64, trans blas.Transpose, c *matrix.Dense, nb int, tc *trace.Collector) {
+func ApplyQ(a *matrix.Dense, tau []float64, trans blas.Transpose, c *matrix.Dense, nb int, ws *work.Arena, tc *trace.Collector) {
 	n := a.Rows
 	if a.Cols != n {
 		panic("onestage: ApplyQ requires square a")
@@ -34,15 +35,17 @@ func ApplyQ(a *matrix.Dense, tau []float64, trans blas.Transpose, c *matrix.Dens
 	}
 	m := c.Cols
 	nr := n - 1 // number of reflector slots (tau has n−1 entries; last may be 0)
-	work := make([]float64, nb*m)
-	tmat := make([]float64, nb*nb)
+	// Larft writes only the upper triangle of T, so tmat must start zeroed.
+	buf := ws.Floats(work.OneStageWork, nb*m+nb*nb, true)
+	wk := buf[:nb*m]
+	tmat := buf[nb*m:]
 
 	// Panels of reflectors [i0, i0+pb). For Q·C apply the last panel first;
 	// for Qᵀ·C apply in forward order.
 	type panel struct{ i0, pb int }
 	var panels []panel
 	for i0 := 0; i0 < nr; i0 += nb {
-		panels = append(panels, panel{i0, min(nb, nr - i0)})
+		panels = append(panels, panel{i0, min(nb, nr-i0)})
 	}
 	if trans == blas.NoTrans {
 		for i := 0; i < len(panels)/2; i++ {
@@ -56,7 +59,7 @@ func ApplyQ(a *matrix.Dense, tau []float64, trans blas.Transpose, c *matrix.Dens
 		v := a.Data[(p.i0+1)+p.i0*a.Stride:]
 		householder.Larft(rows, p.pb, v, a.Stride, tau[p.i0:p.i0+p.pb], tmat, p.pb)
 		csub := c.View(p.i0+1, 0, rows, m)
-		householder.Larfb(blas.Left, trans, rows, m, p.pb, v, a.Stride, tmat, p.pb, csub.Data, csub.Stride, work)
+		householder.Larfb(blas.Left, trans, rows, m, p.pb, v, a.Stride, tmat, p.pb, csub.Data, csub.Stride, wk)
 		tc.AddFlops(trace.KLarfb, 4*int64(rows)*int64(m)*int64(p.pb))
 	}
 }
@@ -65,6 +68,6 @@ func ApplyQ(a *matrix.Dense, tau []float64, trans blas.Transpose, c *matrix.Dens
 // equivalent of DORGTR): it applies Q to the identity.
 func BuildQ(a *matrix.Dense, tau []float64, nb int, tc *trace.Collector) *matrix.Dense {
 	q := matrix.Eye(a.Rows)
-	ApplyQ(a, tau, blas.NoTrans, q, nb, tc)
+	ApplyQ(a, tau, blas.NoTrans, q, nb, nil, tc)
 	return q
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/householder"
 	"repro/internal/matrix"
 	"repro/internal/trace"
+	"repro/internal/work"
 )
 
 // DefaultNB is the default panel width for the blocked reduction.
@@ -27,9 +28,10 @@ const DefaultNB = 32
 //     of the reflectors (reflector i occupies a[i+2:, i], with an implicit
 //     leading 1 at row i+1), exactly LAPACK's packing.
 //
-// nb is the panel width (DefaultNB if ≤ 0). tc, which may be nil, receives
-// flop accounting.
-func Sytrd(a *matrix.Dense, nb int, tc *trace.Collector) (d, e, tau []float64) {
+// nb is the panel width (DefaultNB if ≤ 0). ws, which may be nil, supplies
+// the DLATRD panel workspace. tc, which may be nil, receives flop
+// accounting.
+func Sytrd(a *matrix.Dense, nb int, ws *work.Arena, tc *trace.Collector) (d, e, tau []float64) {
 	n := a.Rows
 	if a.Cols != n {
 		panic("onestage: Sytrd requires a square matrix")
@@ -49,11 +51,12 @@ func Sytrd(a *matrix.Dense, nb int, tc *trace.Collector) (d, e, tau []float64) {
 	}
 
 	lda := a.Stride
-	w := matrix.NewDense(n, nb)
+	w := ws.Dense(work.OneStagePanel, n, nb, false)
+	scratch := ws.Floats(work.OneStageWork, nb, false)
 	for i0 := 0; i0 < n-1; i0 += nb {
 		pb := min(nb, n-1-i0) // reflectors in this panel
 		remain := n - i0      // rows of the trailing part incl. panel
-		latrd(a.View(i0, i0, remain, remain), pb, d[i0:], e[i0:], tau[i0:], w, tc)
+		latrd(a.View(i0, i0, remain, remain), pb, d[i0:], e[i0:], tau[i0:], w, scratch, tc)
 		// Rank-2pb update of the trailing submatrix:
 		// A[i0+pb:, i0+pb:] -= V·Wᵀ + W·Vᵀ where V is the panel's
 		// reflectors and W the latrd workspace.
@@ -76,8 +79,8 @@ func Sytrd(a *matrix.Dense, nb int, tc *trace.Collector) (d, e, tau []float64) {
 // latrd reduces the first pb columns of the symmetric sub (order m, lower)
 // to tridiagonal form, accumulating the update factors into w so the caller
 // can apply a single rank-2pb update to the trailing submatrix. It mirrors
-// LAPACK's DLATRD (uplo = 'L').
-func latrd(sub *matrix.Dense, pb int, d, e, tau []float64, w *matrix.Dense, tc *trace.Collector) {
+// LAPACK's DLATRD (uplo = 'L'). scratch must hold ≥ pb floats.
+func latrd(sub *matrix.Dense, pb int, d, e, tau []float64, w *matrix.Dense, scratch []float64, tc *trace.Collector) {
 	m := sub.Rows
 	lda := sub.Stride
 	ldw := w.Stride
@@ -108,7 +111,7 @@ func latrd(sub *matrix.Dense, pb int, d, e, tau []float64, w *matrix.Dense, tc *
 		tc.AddFlops(trace.KSymv, 2*int64(vlen)*int64(vlen))
 		if i > 0 {
 			// w_i -= tau·(V·(Wᵀv) + W·(Vᵀv)) restricted to rows i+1:.
-			tmp := make([]float64, i)
+			tmp := scratch[:i]
 			blas.Dgemv(blas.Trans, vlen, i, 1, w.Data[i+1:], ldw, v, 1, 0, tmp, 1)
 			blas.Dgemv(blas.NoTrans, vlen, i, -t, sub.Data[i+1:], lda, tmp, 1, 1, wi, 1)
 			blas.Dgemv(blas.Trans, vlen, i, 1, sub.Data[i+1:], lda, v, 1, 0, tmp, 1)

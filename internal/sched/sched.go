@@ -84,6 +84,7 @@ type TraceEvent struct {
 // node is the runtime state of a submitted task.
 type node struct {
 	task      Task
+	job       *Job // the job the task belongs to
 	seq       int
 	waitCount int     // unsatisfied dependences
 	children  []*node // tasks that depend on this one
@@ -100,21 +101,27 @@ type resourceState struct {
 // submit tasks with Submit (from any goroutine, though dependence semantics
 // follow the global submission order, so concurrent submitters must do their
 // own ordering), and call Wait to drain.
+//
+// A Scheduler is designed to be long-lived: a persistent worker pool serves
+// any number of Jobs (see NewJob), each with its own dependence frontier,
+// completion tracking and cancellation context, so concurrent solves can
+// share one pool without false dependences. Submit/Wait remain as the
+// single-stream convenience API backed by an implicit default job.
 type Scheduler struct {
 	workers int
 	trace   bool
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	resources map[int]*resourceState
-	ready     readyQueues
-	pending   int // submitted but not finished
-	started   bool
-	stopped   bool
-	seq       int
-	startTime time.Time
-	events    []TraceEvent
-	wg        sync.WaitGroup
+	mu         sync.Mutex
+	cond       *sync.Cond
+	defaultJob *Job // backs the legacy Submit/Wait API
+	ready      readyQueues
+	pending    int // submitted but not finished, across all jobs
+	started    bool
+	stopped    bool
+	seq        int
+	startTime  time.Time
+	events     []TraceEvent
+	wg         sync.WaitGroup
 }
 
 // Option configures a Scheduler.
@@ -140,9 +147,8 @@ func New(workers int, opts ...Option) *Scheduler {
 		panic("sched: at most 64 workers (affinity masks are 64-bit)")
 	}
 	s := &Scheduler{
-		workers:   workers,
-		resources: make(map[int]*resourceState),
-		started:   true,
+		workers: workers,
+		started: true,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for _, o := range opts {
@@ -159,20 +165,35 @@ func New(workers int, opts ...Option) *Scheduler {
 // Workers reports the worker pool width.
 func (s *Scheduler) Workers() int { return s.workers }
 
-// Submit registers a task. Dependences are inferred against previously
-// submitted tasks from the access list.
+// Submit registers a task on the scheduler's default job. Dependences are
+// inferred against previously submitted tasks from the access list.
 func (s *Scheduler) Submit(t Task) {
 	if t.Run == nil {
 		panic("sched: task without body")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.defaultJob == nil {
+		s.defaultJob = &Job{s: s, resources: make(map[int]*resourceState)}
+	}
+	s.submitLocked(s.defaultJob, t)
+}
+
+// submit registers a task on an explicit job.
+func (s *Scheduler) submit(j *Job, t Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.submitLocked(j, t)
+}
+
+func (s *Scheduler) submitLocked(j *Job, t Task) {
 	if s.stopped {
 		panic("sched: submit after Shutdown")
 	}
-	n := &node{task: t, seq: s.seq}
+	n := &node{task: t, job: j, seq: s.seq}
 	s.seq++
 	s.pending++
+	j.pending++
 
 	// Infer dependences. A resource may appear more than once in the access
 	// list (e.g. a two-sided kernel reading and writing the same tile); the
@@ -184,10 +205,10 @@ func (s *Scheduler) Submit(t Task) {
 		}
 	}
 	for res, mode := range strongest {
-		st := s.resources[res]
+		st := j.resources[res]
 		if st == nil {
 			st = &resourceState{}
-			s.resources[res] = st
+			j.resources[res] = st
 		}
 		switch mode {
 		case Read:
@@ -292,15 +313,22 @@ func (s *Scheduler) worker(id int) {
 			}
 			s.cond.Wait()
 		}
+		// Latch cancellation while still holding the lock; a canceled
+		// job's tasks drain through the DAG without running their bodies.
+		j := n.job
+		j.observeCancelLocked()
+		skip := j.canceled
 		s.mu.Unlock()
 
 		start := time.Since(s.startTime)
-		n.task.Run(id)
+		if !skip {
+			n.task.Run(id)
+		}
 		end := time.Since(s.startTime)
 
 		s.mu.Lock()
 		n.done = true
-		if s.trace {
+		if s.trace && !skip {
 			s.events = append(s.events, TraceEvent{
 				Name: n.task.Name, Worker: id, Start: start, End: end, Seq: n.seq,
 			})
@@ -313,6 +341,7 @@ func (s *Scheduler) worker(id int) {
 		}
 		n.children = nil
 		s.pending--
+		j.pending--
 		s.mu.Unlock()
 		s.cond.Broadcast()
 	}

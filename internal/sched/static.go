@@ -1,6 +1,9 @@
 package sched
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // StaticTask is one entry of a static schedule: a body plus the global
 // indices of the tasks that must have completed before it may run. The
@@ -24,12 +27,32 @@ type StaticSchedule struct {
 }
 
 // RunStatic executes the schedule and blocks until every task completed.
-// The progress table is a condition-variable-guarded bitset: worker w, before
-// running task t, waits until all of t.After are marked done.
 func RunStatic(s StaticSchedule) {
+	_ = RunStaticCtx(context.Background(), s)
+}
+
+// RunStaticCtx executes the schedule under a context and blocks until every
+// task has completed or the context is canceled. On cancellation the
+// workers stop at the next task boundary and the context error is
+// returned; completed work is left as-is (the caller discards the result).
+//
+// The progress table is a condition-variable-guarded bitset: worker w,
+// before running task t, waits until all of t.After are marked done.
+func RunStaticCtx(ctx context.Context, s StaticSchedule) error {
 	done := make([]bool, len(s.Tasks))
 	var mu sync.Mutex
 	cond := sync.NewCond(&mu)
+	canceled := false
+
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			mu.Lock()
+			canceled = true
+			mu.Unlock()
+			cond.Broadcast()
+		})
+		defer stop()
+	}
 
 	var wg sync.WaitGroup
 	for w := range s.PerWorker {
@@ -39,8 +62,12 @@ func RunStatic(s StaticSchedule) {
 			for _, ti := range s.PerWorker[w] {
 				t := &s.Tasks[ti]
 				mu.Lock()
-				for !allDone(done, t.After) {
+				for !allDone(done, t.After) && !canceled {
 					cond.Wait()
+				}
+				if canceled {
+					mu.Unlock()
+					return
 				}
 				mu.Unlock()
 				t.Run(w)
@@ -52,6 +79,12 @@ func RunStatic(s StaticSchedule) {
 		}(w)
 	}
 	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if canceled && ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 func allDone(done []bool, deps []int) bool {

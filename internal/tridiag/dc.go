@@ -2,7 +2,6 @@ package tridiag
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/blas"
 	"repro/internal/matrix"
@@ -12,6 +11,21 @@ import (
 // to QR iteration (LAPACK's SMLSIZ plays the same role).
 const dcBaseSize = 32
 
+// dcEnt is one eigenpair reference in the decoupled (block-diagonal) merge.
+type dcEnt struct {
+	val float64
+	src int // 0: q1, 1: q2
+	col int
+}
+
+// dcOut is one output column of the rank-one merge: either a secular-update
+// column or a deflated column of the permuted basis.
+type dcOut struct {
+	val    float64
+	secIdx int // ≥0: column of the secular update; −1: deflated column
+	defIdx int
+}
+
 // Stedc computes all eigenvalues and eigenvectors of the symmetric
 // tridiagonal matrix (d, e) by Cuppen's divide-and-conquer method with
 // deflation and Gu–Eisenstat stabilized eigenvector construction (the
@@ -20,24 +34,50 @@ const dcBaseSize = 32
 // It returns the eigenvalues in ascending order and an orthogonal matrix Q
 // with T = Q·diag(vals)·Qᵀ.
 func Stedc(d, e []float64) (vals []float64, q *matrix.Dense, err error) {
-	checkTE(d, e)
-	dd := append([]float64(nil), d...)
-	var ee []float64
-	if len(d) > 1 {
-		ee = append([]float64(nil), e[:len(d)-1]...)
-	}
-	return dcRecurse(dd, ee)
+	return StedcWork(d, e, nil)
 }
 
-// dcRecurse solves the subproblem (d, e) destructively.
-func dcRecurse(d, e []float64) ([]float64, *matrix.Dense, error) {
+// StedcWork is Stedc drawing every internal buffer from w (nil w → plain
+// allocation). The returned slice and matrix are pool-owned: once the
+// caller has copied what it needs it should hand them back via w.PutVec and
+// w.PutMat so repeated solves reach an allocation-free steady state.
+func StedcWork(d, e []float64, w *Work) ([]float64, *matrix.Dense, error) {
+	checkTE(d, e)
+	n := len(d)
+	dd := w.vec(n)
+	copy(dd, d)
+	var ee []float64
+	if n > 1 {
+		ee = w.vec(n - 1)
+		copy(ee, e[:n-1])
+	}
+	vals, q, err := dcRecurse(dd, ee, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The recursion may return dd itself (base case) or a pool buffer; hand
+	// the caller a buffer distinct from dd so both can be recycled safely.
+	out := w.vec(n)
+	copy(out, vals)
+	if len(vals) > 0 && &vals[0] != &dd[0] {
+		w.putVec(vals)
+	}
+	w.putVec(dd)
+	w.putVec(ee)
+	return out, q, nil
+}
+
+// dcRecurse solves the subproblem (d, e) destructively. The returned value
+// slice is either d itself or a pool buffer; the returned matrix is always
+// pool-owned.
+func dcRecurse(d, e []float64, w *Work) ([]float64, *matrix.Dense, error) {
 	n := len(d)
 	if n == 0 {
-		return nil, matrix.NewDense(0, 0), nil
+		return nil, w.mat(0, 0), nil
 	}
 	if n <= dcBaseSize {
-		z := matrix.Eye(n)
-		if err := Steqr(d, e, z); err != nil {
+		z := w.eye(n)
+		if err := steqrWork(d, e, z, w); err != nil {
 			return nil, nil, err
 		}
 		return d, z, nil
@@ -46,15 +86,19 @@ func dcRecurse(d, e []float64) ([]float64, *matrix.Dense, error) {
 	rho := e[m-1]
 	if rho == 0 {
 		// The matrix is block diagonal: solve the halves and interleave.
-		l1, q1, err := dcRecurse(d[:m], e[:m-1])
+		l1, q1, err := dcRecurse(d[:m], e[:m-1], w)
 		if err != nil {
 			return nil, nil, err
 		}
-		l2, q2, err := dcRecurse(d[m:], e[m:])
+		l2, q2, err := dcRecurse(d[m:], e[m:], w)
 		if err != nil {
 			return nil, nil, err
 		}
-		vals, q := dcDecoupled(l1, q1, l2, q2)
+		vals, q := dcDecoupled(l1, q1, l2, q2, w)
+		recycleHalf(l1, d, w)
+		recycleHalf(l2, d[m:], w)
+		w.putMat(q1)
+		w.putMat(q2)
 		return vals, q, nil
 	}
 	rhoAbs := math.Abs(rho)
@@ -66,56 +110,63 @@ func dcRecurse(d, e []float64) ([]float64, *matrix.Dense, error) {
 	// u[m] = sign(rho).
 	d[m-1] -= rhoAbs
 	d[m] -= rhoAbs
-	l1, q1, err := dcRecurse(d[:m], e[:m-1])
+	l1, q1, err := dcRecurse(d[:m], e[:m-1], w)
 	if err != nil {
 		return nil, nil, err
 	}
-	l2, q2, err := dcRecurse(d[m:], e[m:])
+	l2, q2, err := dcRecurse(d[m:], e[m:], w)
 	if err != nil {
 		return nil, nil, err
 	}
 	// z = [last row of Q1 ; theta · first row of Q2].
-	z := make([]float64, n)
+	z := w.vec(n)
 	for j := 0; j < m; j++ {
 		z[j] = q1.At(m-1, j)
 	}
 	for j := 0; j < n-m; j++ {
 		z[m+j] = theta * q2.At(0, j)
 	}
-	dvals := make([]float64, n)
+	dvals := w.vec(n)
 	copy(dvals, l1)
 	copy(dvals[m:], l2)
 	// Block-diagonal accumulated basis.
-	q := matrix.NewDense(n, n)
+	q := w.mat(n, n)
 	for j := 0; j < m; j++ {
 		copy(q.Data[j*q.Stride:j*q.Stride+m], q1.Data[j*q1.Stride:j*q1.Stride+m])
 	}
 	for j := 0; j < n-m; j++ {
 		copy(q.Data[(m+j)*q.Stride+m:(m+j)*q.Stride+n], q2.Data[j*q2.Stride:j*q2.Stride+n-m])
 	}
-	return dcMerge(dvals, z, rhoAbs, q)
+	recycleHalf(l1, d, w)
+	recycleHalf(l2, d[m:], w)
+	w.putMat(q1)
+	w.putMat(q2)
+	return dcMerge(dvals, z, rhoAbs, q, w)
+}
+
+// recycleHalf returns a child's value buffer to the pool unless it aliases
+// the parent's d storage (the base case returns its input slice).
+func recycleHalf(l, half []float64, w *Work) {
+	if len(l) > 0 && &l[0] != &half[0] {
+		w.putVec(l)
+	}
 }
 
 // dcDecoupled builds the combined sorted decomposition for a block-diagonal
 // matrix (exact-zero coupling between the halves).
-func dcDecoupled(l1 []float64, q1 *matrix.Dense, l2 []float64, q2 *matrix.Dense) ([]float64, *matrix.Dense) {
+func dcDecoupled(l1 []float64, q1 *matrix.Dense, l2 []float64, q2 *matrix.Dense, w *Work) ([]float64, *matrix.Dense) {
 	m, n2 := len(l1), len(l2)
 	n := m + n2
-	type ent struct {
-		val  float64
-		src  int // 0: q1, 1: q2
-		col  int
-	}
-	ents := make([]ent, 0, n)
+	ents := w.entsBuf(n)
 	for j, v := range l1 {
-		ents = append(ents, ent{v, 0, j})
+		ents = append(ents, dcEnt{v, 0, j})
 	}
 	for j, v := range l2 {
-		ents = append(ents, ent{v, 1, j})
+		ents = append(ents, dcEnt{v, 1, j})
 	}
-	sort.Slice(ents, func(i, j int) bool { return ents[i].val < ents[j].val })
-	vals := make([]float64, n)
-	q := matrix.NewDense(n, n)
+	w.sortEnts(ents)
+	vals := w.vec(n)
+	q := w.mat(n, n)
 	for j, en := range ents {
 		vals[j] = en.val
 		dst := q.Data[j*q.Stride : j*q.Stride+n]
@@ -132,24 +183,28 @@ func dcDecoupled(l1 []float64, q1 *matrix.Dense, l2 []float64, q2 *matrix.Dense)
 // M = diag(dvals) + rho·z·zᵀ (rho > 0) given the accumulated basis q
 // (columns correspond to entries of dvals), performing deflation, the
 // secular solves, the Löwner rebuild of z, and the Level-3 eigenvector
-// update. It returns sorted eigenvalues and the updated basis.
-func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense) ([]float64, *matrix.Dense, error) {
+// update. It returns sorted eigenvalues and the updated basis, and consumes
+// (recycles) dvals, z and q.
+func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense, w *Work) ([]float64, *matrix.Dense, error) {
 	n := len(dvals)
 
 	// Sort by dvals; gather z and the columns of q in permuted order.
-	perm := make([]int, n)
+	perm := w.permBuf(n)
 	for i := range perm {
 		perm[i] = i
 	}
-	sort.Slice(perm, func(a, b int) bool { return dvals[perm[a]] < dvals[perm[b]] })
-	ds := make([]float64, n)
-	zs := make([]float64, n)
-	qp := matrix.NewDense(n, n)
+	w.sortPerm(perm, dvals)
+	ds := w.vec(n)
+	zs := w.vec(n)
+	qp := w.mat(n, n)
 	for j, p := range perm {
 		ds[j] = dvals[p]
 		zs[j] = z[p]
 		copy(qp.Data[j*qp.Stride:j*qp.Stride+n], q.Data[p*q.Stride:p*q.Stride+n])
 	}
+	w.putVec(dvals)
+	w.putVec(z)
+	w.putMat(q)
 
 	// Deflation thresholds, in the spirit of DLAED2.
 	var dmax, zmax float64
@@ -163,7 +218,7 @@ func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense) ([]float64, *matr
 	}
 	tol := 8 * Eps * math.Max(dmax, rho*zmax)
 
-	deflated := make([]bool, n)
+	deflated := w.deflatedBuf(n)
 	// Rule 1: negligible z component.
 	for i := 0; i < n; i++ {
 		if rho*math.Abs(zs[i]) <= tol {
@@ -202,7 +257,7 @@ func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense) ([]float64, *matr
 	}
 
 	// Collect survivors.
-	var sidx []int
+	sidx := w.sidxBuf(n)
 	for i := 0; i < n; i++ {
 		if !deflated[i] {
 			sidx = append(sidx, i)
@@ -210,35 +265,30 @@ func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense) ([]float64, *matr
 	}
 	k := len(sidx)
 
-	type outCol struct {
-		val    float64
-		secIdx int // ≥0: column of the secular update; −1: deflated column
-		defIdx int
-	}
-	outs := make([]outCol, 0, n)
+	outs := w.outsBuf(n)
 	for i := 0; i < n; i++ {
 		if deflated[i] {
-			outs = append(outs, outCol{val: ds[i], secIdx: -1, defIdx: i})
+			outs = append(outs, dcOut{val: ds[i], secIdx: -1, defIdx: i})
 		}
 	}
 
 	var qsec *matrix.Dense
 	if k > 0 {
-		dsec := make([]float64, k)
-		zsec := make([]float64, k)
+		dsec := w.vec(k)
+		zsec := w.vec(k)
 		for j, i := range sidx {
 			dsec[j] = ds[i]
 			zsec[j] = zs[i]
 		}
-		bases := make([]int, k)
-		mus := make([]float64, k)
+		bases := w.basesBuf(k)
+		mus := w.vec(k)
 		for j := 0; j < k; j++ {
 			bases[j], mus[j] = SecularRoot(dsec, zsec, rho, j)
 		}
 		// Gu–Eisenstat: rebuild ẑ from the computed roots via the Löwner
 		// formula so the eigenvectors below are numerically orthogonal.
 		// λ_j − d_i is always formed as (d[base_j] − d_i) + mu_j.
-		zhat := make([]float64, k)
+		zhat := w.vec(k)
 		for i := 0; i < k; i++ {
 			// ẑ_i² = (λ_i − d_i) · Π_{j≠i} (λ_j − d_i)/(d_j − d_i).
 			prod := (dsec[bases[i]] - dsec[i]) + mus[i]
@@ -258,7 +308,7 @@ func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense) ([]float64, *matr
 		}
 		// Eigenvector matrix in survivor coordinates: column j has entries
 		// ẑ_i / (d_i − λ_j), normalized.
-		s := matrix.NewDense(k, k)
+		s := w.mat(k, k)
 		for j := 0; j < k; j++ {
 			col := s.Data[j*s.Stride : j*s.Stride+k]
 			for i := 0; i < k; i++ {
@@ -269,21 +319,27 @@ func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense) ([]float64, *matr
 			blas.Dscal(k, 1/nrm, col, 1)
 		}
 		// Level-3 update: Qsec = Qp[:, sidx] · S.
-		qsub := matrix.NewDense(n, k)
+		qsub := w.mat(n, k)
 		for j, i := range sidx {
 			copy(qsub.Data[j*qsub.Stride:j*qsub.Stride+n], qp.Data[i*qp.Stride:i*qp.Stride+n])
 		}
-		qsec = matrix.NewDense(n, k)
+		qsec = w.mat(n, k)
 		blas.Dgemm(blas.NoTrans, blas.NoTrans, n, k, k, 1,
 			qsub.Data, qsub.Stride, s.Data, s.Stride, 0, qsec.Data, qsec.Stride)
 		for j := 0; j < k; j++ {
-			outs = append(outs, outCol{val: dsec[bases[j]] + mus[j], secIdx: j})
+			outs = append(outs, dcOut{val: dsec[bases[j]] + mus[j], secIdx: j})
 		}
+		w.putVec(dsec)
+		w.putVec(zsec)
+		w.putVec(mus)
+		w.putVec(zhat)
+		w.putMat(s)
+		w.putMat(qsub)
 	}
 
-	sort.Slice(outs, func(a, b int) bool { return outs[a].val < outs[b].val })
-	vals := make([]float64, n)
-	qout := matrix.NewDense(n, n)
+	w.sortOuts(outs)
+	vals := w.vec(n)
+	qout := w.mat(n, n)
 	for j, oc := range outs {
 		vals[j] = oc.val
 		dst := qout.Data[j*qout.Stride : j*qout.Stride+n]
@@ -293,5 +349,9 @@ func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense) ([]float64, *matr
 			copy(dst, qp.Data[oc.defIdx*qp.Stride:oc.defIdx*qp.Stride+n])
 		}
 	}
+	w.putMat(qsec)
+	w.putMat(qp)
+	w.putVec(ds)
+	w.putVec(zs)
 	return vals, qout, nil
 }

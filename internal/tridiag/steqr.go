@@ -18,6 +18,15 @@ import (
 // back-transformation). Columns of z are permuted together with d during the
 // final sort.
 func Steqr(d, e []float64, z *matrix.Dense) error {
+	return steqrWork(d, e, z, nil)
+}
+
+// SteqrWork is Steqr drawing its scratch from w (nil w → plain allocation).
+func SteqrWork(d, e []float64, z *matrix.Dense, w *Work) error {
+	return steqrWork(d, e, z, w)
+}
+
+func steqrWork(d, e []float64, z *matrix.Dense, w *Work) error {
 	n := len(d)
 	checkTE(d, e)
 	if z != nil && z.Rows != n {
@@ -29,9 +38,10 @@ func Steqr(d, e []float64, z *matrix.Dense) error {
 	// The sweep uses e[m] with m up to n−1 as scratch, so work on an
 	// n-length copy (the classic imtql2 convention); the caller's e is
 	// still clobbered per the contract, but never read past n−2.
-	ework := make([]float64, n)
+	ework := w.vec(n)
 	copy(ework, e[:n-1])
 	e = ework
+	defer w.putVec(ework)
 	const maxIter = 80
 
 	for l := 0; l < n; l++ {
@@ -96,15 +106,16 @@ func Steqr(d, e []float64, z *matrix.Dense) error {
 			e[m] = 0
 		}
 	}
-	sortEigen(d, z)
+	sortEigen(d, z, w)
 	return nil
 }
 
 // sortEigen sorts d ascending, applying the same permutation to the columns
 // of z when z is non-nil. Insertion sort: the spectra produced by QL are
 // already nearly sorted.
-func sortEigen(d []float64, z *matrix.Dense) {
+func sortEigen(d []float64, z *matrix.Dense, w *Work) {
 	n := len(d)
+	var tmp []float64
 	for i := 1; i < n; i++ {
 		dv := d[i]
 		j := i - 1
@@ -121,15 +132,18 @@ func sortEigen(d []float64, z *matrix.Dense) {
 		}
 		d[j] = dv
 		if z != nil {
-			swapColRotate(z, j, i)
+			if tmp == nil {
+				tmp = w.vec(z.Rows)
+			}
+			swapColRotate(z, j, i, tmp)
 		}
 	}
+	w.putVec(tmp)
 }
 
 // swapColRotate rotates columns j..i of z right by one (column i moves to
-// position j).
-func swapColRotate(z *matrix.Dense, j, i int) {
-	tmp := make([]float64, z.Rows)
+// position j). tmp must hold z.Rows floats.
+func swapColRotate(z *matrix.Dense, j, i int, tmp []float64) {
 	copy(tmp, z.Data[i*z.Stride:i*z.Stride+z.Rows])
 	for k := i; k > j; k-- {
 		copy(z.Data[k*z.Stride:k*z.Stride+z.Rows], z.Data[(k-1)*z.Stride:(k-1)*z.Stride+z.Rows])

@@ -66,6 +66,6 @@ func Sterf(d, e []float64) error {
 			e[m] = 0
 		}
 	}
-	sortEigen(d, nil)
+	sortEigen(d, nil, nil)
 	return nil
 }

@@ -1,0 +1,229 @@
+package tridiag
+
+import (
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Work is a retained scratch pool for the tridiagonal eigensolvers. The
+// divide & conquer recursion allocates a deterministic population of
+// vectors and matrices per problem size; pooling them (plus the sort and
+// permutation scratch) makes repeated solves of the same size allocation-
+// free in steady state, which is what the reusable Solver's workspace arena
+// needs from this layer.
+//
+// A Work serves one solve at a time (the D&C recursion is sequential). A
+// nil *Work is valid everywhere and falls back to plain allocation, so the
+// public one-shot entry points need no conditionals.
+type Work struct {
+	vecs map[int][][]float64     // free float buffers, keyed by exact length
+	mats map[int][]*matrix.Dense // free matrices, keyed by len(Data)
+
+	// Per-merge scratch, reused across the sequential merge nodes.
+	perm     []int
+	sidx     []int
+	bases    []int
+	deflated []bool
+	outs     []dcOut
+	ents     []dcEnt
+
+	permSort permSorter
+	outSort  outSorter
+	entSort  entSorter
+}
+
+// NewWork returns an empty pool.
+func NewWork() *Work {
+	return &Work{
+		vecs: make(map[int][][]float64),
+		mats: make(map[int][]*matrix.Dense),
+	}
+}
+
+// vec returns a zeroed float buffer of exactly length n.
+func (w *Work) vec(n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	if l := w.vecs[n]; len(l) > 0 {
+		buf := l[len(l)-1]
+		w.vecs[n] = l[:len(l)-1]
+		clear(buf)
+		return buf
+	}
+	return make([]float64, n)
+}
+
+// putVec returns a buffer obtained from vec to the pool. Never put a slice
+// that aliases live data (e.g. a sub-slice of a caller's array).
+func (w *Work) putVec(b []float64) {
+	if w == nil || cap(b) == 0 {
+		return
+	}
+	w.vecs[len(b)] = append(w.vecs[len(b)], b)
+}
+
+// mat returns a zeroed r×c matrix (Stride == r), reusing a pooled header
+// and backing array of the same element count when available.
+func (w *Work) mat(r, c int) *matrix.Dense {
+	if w == nil || r*c == 0 {
+		return matrix.NewDense(r, c)
+	}
+	key := r * c
+	if l := w.mats[key]; len(l) > 0 {
+		m := l[len(l)-1]
+		w.mats[key] = l[:len(l)-1]
+		m.Rows, m.Cols, m.Stride = r, c, r
+		clear(m.Data)
+		return m
+	}
+	return matrix.NewDense(r, c)
+}
+
+// putMat returns a matrix obtained from mat to the pool.
+func (w *Work) putMat(m *matrix.Dense) {
+	if w == nil || m == nil || len(m.Data) == 0 {
+		return
+	}
+	w.mats[len(m.Data)] = append(w.mats[len(m.Data)], m)
+}
+
+// PutVec hands a vector returned by a solver (e.g. StedcWork's eigenvalues)
+// back to the pool once the caller has copied what it needs.
+func (w *Work) PutVec(b []float64) { w.putVec(b) }
+
+// PutMat hands a matrix returned by a solver (e.g. StedcWork's eigenvector
+// basis) back to the pool once the caller has copied what it needs.
+func (w *Work) PutMat(m *matrix.Dense) { w.putMat(m) }
+
+// eye returns the n×n identity from the pool.
+func (w *Work) eye(n int) *matrix.Dense {
+	m := w.mat(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i+i*m.Stride] = 1
+	}
+	return m
+}
+
+// permBuf, sidxBuf, basesBuf, deflatedBuf, outsBuf and entsBuf return
+// per-merge scratch with capacity n; the three int buffers are distinct
+// because they are live simultaneously within one merge. Appending up to n
+// elements to the [:0] variants never reallocates.
+
+func (w *Work) permBuf(n int) []int {
+	if w == nil {
+		return make([]int, n)
+	}
+	if cap(w.perm) < n {
+		w.perm = make([]int, n)
+	}
+	return w.perm[:n]
+}
+
+func (w *Work) sidxBuf(n int) []int {
+	if w == nil {
+		return make([]int, 0, n)
+	}
+	if cap(w.sidx) < n {
+		w.sidx = make([]int, n)
+	}
+	return w.sidx[:0]
+}
+
+func (w *Work) basesBuf(n int) []int {
+	if w == nil {
+		return make([]int, n)
+	}
+	if cap(w.bases) < n {
+		w.bases = make([]int, n)
+	}
+	return w.bases[:n]
+}
+
+func (w *Work) deflatedBuf(n int) []bool {
+	if w == nil {
+		return make([]bool, n)
+	}
+	if cap(w.deflated) < n {
+		w.deflated = make([]bool, n)
+	}
+	b := w.deflated[:n]
+	clear(b)
+	return b
+}
+
+func (w *Work) outsBuf(n int) []dcOut {
+	if w == nil {
+		return make([]dcOut, 0, n)
+	}
+	if cap(w.outs) < n {
+		w.outs = make([]dcOut, n)
+	}
+	return w.outs[:0]
+}
+
+func (w *Work) entsBuf(n int) []dcEnt {
+	if w == nil {
+		return make([]dcEnt, 0, n)
+	}
+	if cap(w.ents) < n {
+		w.ents = make([]dcEnt, n)
+	}
+	return w.ents[:0]
+}
+
+// sortPerm sorts perm so that key[perm[i]] ascends. With a pool the sorter
+// lives in the Work, so sort.Sort sees a pointer and nothing escapes.
+func (w *Work) sortPerm(perm []int, key []float64) {
+	if w == nil {
+		sort.Slice(perm, func(a, b int) bool { return key[perm[a]] < key[perm[b]] })
+		return
+	}
+	w.permSort.perm, w.permSort.key = perm, key
+	sort.Sort(&w.permSort)
+	w.permSort.perm, w.permSort.key = nil, nil
+}
+
+// sortOuts sorts merge output columns by eigenvalue.
+func (w *Work) sortOuts(outs []dcOut) {
+	if w == nil {
+		sort.Slice(outs, func(a, b int) bool { return outs[a].val < outs[b].val })
+		return
+	}
+	w.outSort.s = outs
+	sort.Sort(&w.outSort)
+	w.outSort.s = nil
+}
+
+// sortEnts sorts decoupled-merge entries by eigenvalue.
+func (w *Work) sortEnts(ents []dcEnt) {
+	if w == nil {
+		sort.Slice(ents, func(a, b int) bool { return ents[a].val < ents[b].val })
+		return
+	}
+	w.entSort.s = ents
+	sort.Sort(&w.entSort)
+	w.entSort.s = nil
+}
+
+type permSorter struct {
+	perm []int
+	key  []float64
+}
+
+func (p *permSorter) Len() int           { return len(p.perm) }
+func (p *permSorter) Less(i, j int) bool { return p.key[p.perm[i]] < p.key[p.perm[j]] }
+func (p *permSorter) Swap(i, j int)      { p.perm[i], p.perm[j] = p.perm[j], p.perm[i] }
+
+type outSorter struct{ s []dcOut }
+
+func (o *outSorter) Len() int           { return len(o.s) }
+func (o *outSorter) Less(i, j int) bool { return o.s[i].val < o.s[j].val }
+func (o *outSorter) Swap(i, j int)      { o.s[i], o.s[j] = o.s[j], o.s[i] }
+
+type entSorter struct{ s []dcEnt }
+
+func (e *entSorter) Len() int           { return len(e.s) }
+func (e *entSorter) Less(i, j int) bool { return e.s[i].val < e.s[j].val }
+func (e *entSorter) Swap(i, j int)      { e.s[i], e.s[j] = e.s[j], e.s[i] }

@@ -1,0 +1,270 @@
+// Package work provides the size-keyed workspace arena that makes the
+// solve path reusable: every scratch buffer the pipeline needs — the dense
+// working copy of A, the stage-1 tile storage and kernel scratch, the
+// extended workband of the bulge chase, the Q₂ reflector and diamond
+// slabs, the tridiagonal d/e/work arrays and the eigenvector staging
+// matrix — is obtained from an Arena instead of the garbage collector.
+//
+// An Arena serves exactly one solve at a time; a Pool hands out Arenas to
+// concurrent solves and recycles them, so a long-lived Solver reaches a
+// steady state in which repeated solves of the same size perform near-zero
+// allocations (the workspace-reuse discipline of PLASMA's runtime that the
+// paper's two-stage pipeline is built on).
+//
+// Ownership rule: buffers returned by an Arena are valid only until the
+// Arena is released back to its Pool. Results that outlive the solve
+// (eigenvalues, eigenvector matrices handed to the caller) must never be
+// arena-backed.
+package work
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/matrix"
+)
+
+// Key names one workspace slot of an Arena. Each (Key, size) pair maps to
+// one retained buffer; requesting a larger size grows the buffer, a smaller
+// size reslices it.
+type Key string
+
+// The workspace slots used by the solve pipeline.
+const (
+	Stage1Dense    Key = "stage1.dense"    // dense working copy of A
+	Stage1Tiles    Key = "stage1.tiles"    // V₁ tile storage (the reduced A)
+	Stage1Scratch  Key = "stage1.scratch"  // per-worker tile-kernel scratch
+	Stage1Slab     Key = "stage1.slab"     // Tge/Tts block-reflector factors
+	Stage2Band     Key = "stage2.band"     // extracted symmetric band matrix
+	Stage2Work     Key = "stage2.workband" // extended band (bulge) storage
+	Stage2Slab     Key = "stage2.slab"     // Q₂ reflector essentials
+	Stage2Scratch  Key = "stage2.scratch"  // per-worker bulge-kernel scratch
+	Stage2Refs     Key = "stage2.refs"     // reflector lattice slots
+	Stage2Out      Key = "stage2.out"      // chase output (Result + Tridiagonal)
+	Stage2OutD     Key = "stage2.out.d"    // tridiagonal output diagonal
+	Stage2OutE     Key = "stage2.out.e"    // tridiagonal output off-diagonal
+	Stage2Chaser   Key = "stage2.chaser"   // chaser state (refs output list)
+	Stage1Factor   Key = "stage1.factor"   // band factorization header + T lists
+	TridiagD       Key = "tridiag.d"       // diagonal scratch copy
+	TridiagE       Key = "tridiag.e"       // off-diagonal scratch copy
+	BacktransSlab  Key = "backtrans.slab"  // diamond V/T aggregate storage
+	BacktransPlan  Key = "backtrans.plan"  // diamond lattice index + block list
+	BacktransApply Key = "backtrans.apply" // sequential Apply column-block scratch
+	Q1Apply        Key = "stage1.q1apply"  // sequential ApplyQ1 column-block scratch
+	TridiagWork    Key = "tridiag.work"    // D&C / QR solver scratch pool
+	VectorStage    Key = "vectors.stage"   // eigenvector staging matrix
+	OneStagePanel  Key = "onestage.panel"  // DLATRD W panel
+	OneStageWork   Key = "onestage.work"   // ORMTR work + T factor
+)
+
+// Arena is a per-solve workspace. It is NOT safe for concurrent use by
+// multiple solves; the only concurrency it supports is multiple scheduler
+// workers of one solve calling Slab.Take and using their own PerWorker
+// slots. A nil *Arena is valid everywhere and simply allocates fresh
+// buffers, so one-shot code paths need no conditionals.
+type Arena struct {
+	floats    map[Key][]float64
+	perWorker map[Key][][]float64
+	slabs     map[Key]*Slab
+	values    map[Key]any
+	denses    map[Key]*matrix.Dense
+	bands     map[Key]*matrix.SymBand
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{
+		floats:    make(map[Key][]float64),
+		perWorker: make(map[Key][][]float64),
+		slabs:     make(map[Key]*Slab),
+		values:    make(map[Key]any),
+		denses:    make(map[Key]*matrix.Dense),
+		bands:     make(map[Key]*matrix.SymBand),
+	}
+}
+
+// Floats returns a float64 buffer of length n for the slot. With zero set
+// the buffer is cleared; otherwise its contents are unspecified and the
+// caller must overwrite every element it reads.
+func (a *Arena) Floats(k Key, n int, zero bool) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	buf := a.floats[k]
+	if cap(buf) < n {
+		buf = make([]float64, n)
+		a.floats[k] = buf
+		return buf
+	}
+	buf = buf[:n]
+	if zero {
+		clear(buf)
+	}
+	return buf
+}
+
+// Dense returns an r×c column-major matrix (Stride == r) backed by the
+// slot's buffer. Both the header and the backing array are retained, so a
+// steady-state request costs zero allocations.
+func (a *Arena) Dense(k Key, r, c int, zero bool) *matrix.Dense {
+	data := a.Floats(k, max(1, r)*c, zero)
+	if a == nil {
+		return matrix.NewDenseFrom(r, c, max(1, r), data)
+	}
+	d := a.denses[k]
+	if d == nil {
+		d = &matrix.Dense{}
+		a.denses[k] = d
+	}
+	d.Rows, d.Cols, d.Stride, d.Data = r, c, max(1, r), data
+	return d
+}
+
+// Band returns an order-n symmetric band matrix with bandwidth kd backed by
+// the slot's buffer, cleared (band extraction writes sparsely).
+func (a *Arena) Band(k Key, n, kd int) *matrix.SymBand {
+	if kd >= n && n > 0 {
+		kd = n - 1
+	}
+	if a == nil {
+		return matrix.NewSymBand(n, kd)
+	}
+	b := a.bands[k]
+	if b == nil {
+		b = &matrix.SymBand{}
+		a.bands[k] = b
+	}
+	b.N, b.KD, b.LDA, b.Data = n, kd, kd+1, a.Floats(k, (kd+1)*n, true)
+	return b
+}
+
+// PerWorker returns workers buffers of the given size for the slot, one per
+// scheduler worker. Buffer contents are unspecified.
+func (a *Arena) PerWorker(k Key, workers, size int) [][]float64 {
+	if a == nil {
+		bufs := make([][]float64, workers)
+		for i := range bufs {
+			bufs[i] = make([]float64, size)
+		}
+		return bufs
+	}
+	bufs := a.perWorker[k]
+	if len(bufs) < workers {
+		grown := make([][]float64, workers)
+		copy(grown, bufs)
+		bufs = grown
+		a.perWorker[k] = bufs
+	}
+	for i := 0; i < workers; i++ {
+		if cap(bufs[i]) < size {
+			bufs[i] = make([]float64, size)
+		} else {
+			bufs[i] = bufs[i][:size]
+		}
+	}
+	return bufs[:workers]
+}
+
+// SlabOf resets and returns the slot's slab with at least the given
+// capacity. The slab hands out zeroed sub-slices via Take and may be used
+// concurrently by scheduler workers.
+func (a *Arena) SlabOf(k Key, capacity int) *Slab {
+	if a == nil {
+		return &Slab{buf: make([]float64, capacity)}
+	}
+	s := a.slabs[k]
+	if s == nil {
+		s = &Slab{}
+		a.slabs[k] = s
+	}
+	if cap(s.buf) < capacity {
+		s.buf = make([]float64, capacity)
+	} else {
+		s.buf = s.buf[:cap(s.buf)]
+	}
+	s.off.Store(0)
+	return s
+}
+
+// Tiles returns a retained n×n tile matrix with tile size nb. Contents are
+// unspecified; the caller is expected to overwrite every tile (the DTL's
+// FromLapack does). A dimension change reallocates.
+func (a *Arena) Tiles(k Key, n, nb int) *matrix.TileMatrix {
+	if a == nil {
+		return matrix.NewTileMatrix(n, nb)
+	}
+	if tm, ok := a.values[k].(*matrix.TileMatrix); ok && tm.N == n && tm.NB == nb {
+		return tm
+	}
+	tm := matrix.NewTileMatrix(n, nb)
+	a.values[k] = tm
+	return tm
+}
+
+// Value returns the opaque cached value for a slot (nil if absent). Stage
+// packages use it to retain typed caches (e.g. the reflector lattice)
+// without this package importing them.
+func (a *Arena) Value(k Key) any {
+	if a == nil {
+		return nil
+	}
+	return a.values[k]
+}
+
+// SetValue caches an opaque value under a slot.
+func (a *Arena) SetValue(k Key, v any) {
+	if a != nil {
+		a.values[k] = v
+	}
+}
+
+// Slab is a bump allocator over one retained buffer. Take is safe for
+// concurrent use; everything else follows Arena's single-solve rule.
+type Slab struct {
+	buf []float64
+	off atomic.Int64
+}
+
+// Take returns a zeroed slice of length n carved from the slab, falling
+// back to the heap when the slab is exhausted (correct, just not pooled).
+func (s *Slab) Take(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	end := s.off.Add(int64(n))
+	if end > int64(len(s.buf)) {
+		return make([]float64, n)
+	}
+	out := s.buf[end-int64(n) : end : end]
+	clear(out)
+	return out
+}
+
+// Pool is a concurrency-safe pool of Arenas. Get returns a recycled arena
+// when one is idle (its buffers sized by earlier solves) or a fresh one.
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	pl := &Pool{}
+	pl.p.New = func() any { return NewArena() }
+	return pl
+}
+
+// Get takes an arena from the pool.
+func (pl *Pool) Get() *Arena {
+	if pl == nil {
+		return nil
+	}
+	return pl.p.Get().(*Arena)
+}
+
+// Put returns an arena to the pool. The caller must not touch any buffer
+// obtained from it afterwards.
+func (pl *Pool) Put(a *Arena) {
+	if pl != nil && a != nil {
+		pl.p.Put(a)
+	}
+}

@@ -1,0 +1,168 @@
+package work
+
+import (
+	"testing"
+)
+
+func TestFloatsReuseAndZeroing(t *testing.T) {
+	a := NewArena()
+	b1 := a.Floats("k", 10, true)
+	for i := range b1 {
+		if b1[i] != 0 {
+			t.Fatal("fresh buffer not zeroed")
+		}
+		b1[i] = 1
+	}
+	b2 := a.Floats("k", 8, false)
+	if &b1[0] != &b2[0] {
+		t.Fatal("smaller request did not reuse the buffer")
+	}
+	if b2[0] != 1 {
+		t.Fatal("zero=false cleared the buffer")
+	}
+	b3 := a.Floats("k", 8, true)
+	if b3[0] != 0 {
+		t.Fatal("zero=true did not clear the buffer")
+	}
+	b4 := a.Floats("k", 20, false)
+	if len(b4) != 20 {
+		t.Fatal("grow failed")
+	}
+}
+
+func TestNilArena(t *testing.T) {
+	var a *Arena
+	if got := a.Floats("k", 5, true); len(got) != 5 {
+		t.Fatal("nil arena Floats")
+	}
+	if d := a.Dense("k", 3, 4, true); d.Rows != 3 || d.Cols != 4 {
+		t.Fatal("nil arena Dense")
+	}
+	if b := a.Band("k", 6, 2); b.N != 6 || b.KD != 2 || b.LDA != 3 {
+		t.Fatal("nil arena Band")
+	}
+	if s := a.SlabOf("k", 10); len(s.Take(4)) != 4 {
+		t.Fatal("nil arena Slab")
+	}
+	if v := a.Value("k"); v != nil {
+		t.Fatal("nil arena Value")
+	}
+	a.SetValue("k", 1) // must not panic
+	if bufs := a.PerWorker("k", 2, 3); len(bufs) != 2 || len(bufs[0]) != 3 {
+		t.Fatal("nil arena PerWorker")
+	}
+}
+
+func TestDenseHeaderReuse(t *testing.T) {
+	a := NewArena()
+	d1 := a.Dense("k", 4, 4, true)
+	d1.Data[0] = 7
+	d2 := a.Dense("k", 4, 4, false)
+	if d1 != d2 {
+		t.Fatal("Dense header not retained")
+	}
+	if d2.Data[0] != 7 {
+		t.Fatal("Dense backing not retained")
+	}
+	d3 := a.Dense("k", 2, 3, true)
+	if d3 != d1 || d3.Rows != 2 || d3.Cols != 3 || d3.Stride != 2 {
+		t.Fatal("Dense reshape broken")
+	}
+}
+
+func TestBandHeaderReuse(t *testing.T) {
+	a := NewArena()
+	b1 := a.Band("k", 8, 3)
+	if b1.LDA != 4 || len(b1.Data) != 4*8 {
+		t.Fatalf("band layout: LDA=%d len=%d", b1.LDA, len(b1.Data))
+	}
+	b1.Data[0] = 5
+	b2 := a.Band("k", 8, 3)
+	if b1 != b2 {
+		t.Fatal("Band header not retained")
+	}
+	if b2.Data[0] != 0 {
+		t.Fatal("Band not cleared on reuse")
+	}
+	if b3 := a.Band("k", 4, 9); b3.KD != 3 {
+		t.Fatal("bandwidth not clamped to n-1")
+	}
+}
+
+func TestSlab(t *testing.T) {
+	a := NewArena()
+	s := a.SlabOf("k", 8)
+	x := s.Take(5)
+	x[0] = 3
+	y := s.Take(3)
+	if &y[0] != &s.buf[5] {
+		t.Fatal("slab did not bump sequentially")
+	}
+	// Exhausted: heap fallback, still usable.
+	z := s.Take(4)
+	if len(z) != 4 {
+		t.Fatal("heap fallback failed")
+	}
+	if s.Take(0) != nil {
+		t.Fatal("Take(0) must return nil")
+	}
+	// Reset via SlabOf: same backing, zeroed handouts.
+	s2 := a.SlabOf("k", 8)
+	if s2 != s {
+		t.Fatal("slab not retained")
+	}
+	w := s2.Take(5)
+	if &w[0] != &x[0] {
+		t.Fatal("reset slab did not restart at the base")
+	}
+	if w[0] != 0 {
+		t.Fatal("Take did not zero")
+	}
+}
+
+func TestPerWorker(t *testing.T) {
+	a := NewArena()
+	bufs := a.PerWorker("k", 3, 4)
+	if len(bufs) != 3 {
+		t.Fatal("worker count")
+	}
+	bufs[2][0] = 9
+	grown := a.PerWorker("k", 5, 2)
+	if len(grown) != 5 || len(grown[0]) != 2 {
+		t.Fatal("grow")
+	}
+	if &grown[2][0] != &bufs[2][0] {
+		t.Fatal("existing worker buffers not retained across growth")
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	if a == nil {
+		t.Fatal("pool returned nil arena")
+	}
+	a.Floats("k", 100, false)
+	p.Put(a)
+	// A nil pool degrades to nil arenas.
+	var np *Pool
+	if np.Get() != nil {
+		t.Fatal("nil pool Get")
+	}
+	np.Put(nil)
+}
+
+func TestTilesAndValue(t *testing.T) {
+	a := NewArena()
+	tm := a.Tiles("k", 16, 4)
+	if a.Tiles("k", 16, 4) != tm {
+		t.Fatal("tile matrix not retained")
+	}
+	if a.Tiles("k", 16, 8) == tm {
+		t.Fatal("dimension change must reallocate")
+	}
+	a.SetValue("v", 42)
+	if a.Value("v").(int) != 42 {
+		t.Fatal("Value roundtrip")
+	}
+}

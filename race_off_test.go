@@ -1,0 +1,5 @@
+//go:build !race
+
+package eigen
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package eigen
+
+// raceEnabled reports whether the race detector is active; its allocation
+// instrumentation invalidates alloc-count assertions.
+const raceEnabled = true

@@ -1,0 +1,223 @@
+package eigen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/work"
+)
+
+// ErrClosed is returned by a Solver whose Close has been called.
+var ErrClosed = errors.New("eigen: solver is closed")
+
+// solverHdrKey is the arena slot holding the retained matrix.Dense headers
+// that wrap caller-owned input/destination storage for one solve.
+const solverHdrKey work.Key = "solver.hdrs"
+
+type denseHdrs struct {
+	a, dst matrix.Dense
+}
+
+// Solver is a reusable eigensolver: it owns a persistent scheduler (when
+// Workers > 1) and a pool of workspace arenas, so repeated solves skip both
+// the worker spin-up and almost all workspace allocation. A Solver is safe
+// for concurrent use — simultaneous solves draw distinct arenas from the
+// pool and independent task streams (jobs) from the shared scheduler.
+//
+//	s := eigen.NewSolver(&eigen.Options{Workers: 4})
+//	defer s.Close()
+//	for _, a := range problems {
+//		res, err := s.Eig(a)
+//		...
+//	}
+//
+// Close releases the workers; it must be called when the Solver is no
+// longer needed (a Solver with Workers ≤ 1 has no goroutines, but calling
+// Close is still correct and idempotent). The *Ctx variants accept a
+// context; cancellation abandons the solve mid-pipeline and returns the
+// context's error while the Solver stays usable.
+type Solver struct {
+	opts Options
+	pool *work.Pool
+
+	mu     sync.Mutex
+	sched  *sched.Scheduler
+	closed bool
+}
+
+// NewSolver creates a Solver with the given options (nil → defaults: the
+// two-stage algorithm, divide & conquer, sequential execution).
+func NewSolver(opts *Options) *Solver {
+	s := &Solver{pool: work.NewPool()}
+	if opts != nil {
+		s.opts = *opts
+	}
+	if s.opts.Workers > 1 {
+		s.sched = sched.New(s.opts.Workers)
+	}
+	return s
+}
+
+// Close shuts the Solver's worker pool down and marks it unusable. It is
+// idempotent and safe to call concurrently with (failing) solves.
+func (s *Solver) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.sched != nil {
+		s.sched.Shutdown()
+		s.sched = nil
+	}
+	return nil
+}
+
+// Eig computes all eigenvalues and eigenvectors of a.
+func (s *Solver) Eig(a *Matrix) (*Result, error) {
+	return s.EigCtx(context.Background(), a)
+}
+
+// EigCtx is Eig with cancellation.
+func (s *Solver) EigCtx(ctx context.Context, a *Matrix) (*Result, error) {
+	return s.solve(ctx, a, true, 0, 0, nil)
+}
+
+// EigValues computes all eigenvalues of a (no vectors).
+func (s *Solver) EigValues(a *Matrix) ([]float64, error) {
+	return s.EigValuesCtx(context.Background(), a)
+}
+
+// EigValuesCtx is EigValues with cancellation.
+func (s *Solver) EigValuesCtx(ctx context.Context, a *Matrix) ([]float64, error) {
+	res, err := s.solve(ctx, a, false, 0, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// EigRange computes eigenpairs il through iu (1-based, ascending,
+// inclusive).
+func (s *Solver) EigRange(a *Matrix, il, iu int) (*Result, error) {
+	return s.EigRangeCtx(context.Background(), a, il, iu)
+}
+
+// EigRangeCtx is EigRange with cancellation.
+func (s *Solver) EigRangeCtx(ctx context.Context, a *Matrix, il, iu int) (*Result, error) {
+	if il < 1 || iu < il {
+		return nil, fmt.Errorf("eigen: invalid range [%d, %d]", il, iu)
+	}
+	return s.solve(ctx, a, true, il, iu, nil)
+}
+
+// EigValuesRange computes eigenvalues il through iu only.
+func (s *Solver) EigValuesRange(a *Matrix, il, iu int) ([]float64, error) {
+	return s.EigValuesRangeCtx(context.Background(), a, il, iu)
+}
+
+// EigValuesRangeCtx is EigValuesRange with cancellation.
+func (s *Solver) EigValuesRangeCtx(ctx context.Context, a *Matrix, il, iu int) ([]float64, error) {
+	if il < 1 || iu < il {
+		return nil, fmt.Errorf("eigen: invalid range [%d, %d]", il, iu)
+	}
+	res, err := s.solve(ctx, a, false, il, iu, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// EigTo computes all eigenpairs of the n×n matrix a, writing the
+// eigenvectors directly into the caller-supplied n×n matrix dst (column k
+// pairs with the k-th returned value). No eigenvector matrix is allocated:
+// with a recycled workspace arena this is the steady-state allocation-free
+// entry point.
+func (s *Solver) EigTo(ctx context.Context, a *Matrix, dst *Matrix) ([]float64, error) {
+	if dst == nil {
+		return nil, fmt.Errorf("eigen: EigTo requires a destination matrix")
+	}
+	if a != nil && (dst.r != a.r || dst.c != a.c) {
+		return nil, fmt.Errorf("eigen: EigTo destination is %d×%d, want %d×%d", dst.r, dst.c, a.r, a.c)
+	}
+	res, err := s.solve(ctx, a, true, 0, 0, dst)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
+}
+
+// solve validates, borrows an arena, and runs the selected pipeline.
+func (s *Solver) solve(ctx context.Context, a *Matrix, vectors bool, il, iu int, dst *Matrix) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("eigen: nil matrix")
+	}
+	if a.r != a.c {
+		return nil, fmt.Errorf("eigen: matrix must be square, got %d×%d", a.r, a.c)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	pool, scheduler := s.pool, s.sched
+	s.mu.Unlock()
+
+	ws := pool.Get()
+	defer pool.Put(ws)
+
+	// Headers over caller-owned data live on the arena, so steady-state
+	// solves do not allocate them. The arena is private to this solve, which
+	// keeps header writes race-free even when the same input matrix is
+	// solved concurrently.
+	hs, _ := ws.Value(solverHdrKey).(*denseHdrs)
+	if hs == nil {
+		hs = &denseHdrs{}
+		ws.SetValue(solverHdrKey, hs)
+	}
+	ad := &hs.a
+	*ad = matrix.Dense{Rows: a.r, Cols: a.c, Stride: max(1, a.r), Data: a.data}
+
+	if !s.opts.SkipSymmetryCheck {
+		if !ad.IsSymmetric(symTol * ad.MaxAbs()) {
+			return nil, fmt.Errorf("eigen: matrix is not symmetric (tolerance %g·max|a|)", symTol)
+		}
+	}
+
+	co := s.opts.toCore(vectors, il, iu)
+	co.Workers = 0 // the persistent scheduler replaces per-solve workers
+	co.Sched = scheduler
+	co.Arena = ws
+	var dstDense *matrix.Dense
+	if dst != nil {
+		dstDense = &hs.dst
+		*dstDense = matrix.Dense{Rows: dst.r, Cols: dst.c, Stride: max(1, dst.r), Data: dst.data}
+		co.Dst = dstDense
+	}
+
+	var cres *core.Result
+	var err error
+	if s.opts.Algorithm == OneStage {
+		cres, err = core.SyevOneStage(ctx, ad, co)
+	} else {
+		cres, err = core.SyevTwoStage(ctx, ad, co)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Values: cres.Values}
+	if cres.Vectors != nil {
+		if dst != nil && cres.Vectors == dstDense {
+			res.Vectors = dst
+		} else {
+			res.Vectors = fromDense(cres.Vectors)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,307 @@
+package eigen
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSolverReuseMatchesOneShot runs several different problems through one
+// Solver and checks each against the one-shot entry point.
+func TestSolverReuseMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewSolver(&Options{NB: 8})
+	defer s.Close()
+	for _, n := range []int{5, 24, 33, 24, 5} { // revisit sizes to hit recycled arenas
+		a := randSymMatrix(rng, n)
+		got, err := s.Eig(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := Eig(a, &Options{NB: 8})
+		if err != nil {
+			t.Fatalf("n=%d one-shot: %v", n, err)
+		}
+		if len(got.Values) != len(want.Values) {
+			t.Fatalf("n=%d: %d values, want %d", n, len(got.Values), len(want.Values))
+		}
+		for i := range got.Values {
+			if math.Abs(got.Values[i]-want.Values[i]) > 1e-12 {
+				t.Fatalf("n=%d value %d: %g vs %g", n, i, got.Values[i], want.Values[i])
+			}
+		}
+		checkResidual(t, a, got)
+	}
+}
+
+// TestSolverConcurrent hammers one shared Solver from many goroutines and, in
+// parallel, independent Solvers — the -race test for the arena pool, the
+// shared scheduler, and the header caching. All four pipeline combinations
+// (two-stage/one-stage × vectors/values-only) run concurrently.
+func TestSolverConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 48
+	a := randSymMatrix(rng, n)
+	want, err := Eig(a, &Options{NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := NewSolver(&Options{NB: 8, Workers: 4})
+	defer shared.Close()
+
+	check := func(vals []float64) {
+		for i := range vals {
+			if math.Abs(vals[i]-want.Values[i]) > 1e-9 {
+				t.Errorf("value %d: %g vs %g", i, vals[i], want.Values[i])
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var s *Solver
+			if g%2 == 0 {
+				s = shared
+			} else {
+				s = NewSolver(&Options{NB: 8, Algorithm: Algorithm(g % 2 * int(OneStage))})
+				defer s.Close()
+			}
+			for it := 0; it < 3; it++ {
+				if (g+it)%2 == 0 {
+					res, err := s.Eig(a)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					check(res.Values)
+				} else {
+					vals, err := s.EigValues(a)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					check(vals)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSolverConcurrentOneStage runs the one-stage pipeline concurrently on a
+// shared Solver (it ignores the scheduler but shares the arena pool).
+func TestSolverConcurrentOneStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randSymMatrix(rng, 32)
+	s := NewSolver(&Options{NB: 8, Algorithm: OneStage})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Eig(a)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			checkResidual(t, a, res)
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSolverCancellation covers a context canceled before the solve and one
+// canceled mid-solve; both must return the context's error (or, in the racy
+// mid-solve case, possibly finish first) and leave the Solver usable.
+func TestSolverCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randSymMatrix(rng, 64)
+
+	for _, workers := range []int{1, 4} {
+		s := NewSolver(&Options{NB: 8, Workers: workers})
+
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := s.EigCtx(ctx, a); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d pre-canceled: got %v, want context.Canceled", workers, err)
+		}
+
+		// Cancel concurrently with the solve: either the cancellation wins
+		// (context error) or the solve finishes first (valid result) — both
+		// are correct; anything else (panic, deadlock, garbage) is not.
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			res, err := s.EigCtx(ctx2, a)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("workers=%d mid-solve: unexpected error %v", workers, err)
+			}
+			if err == nil {
+				checkResidual(t, a, res)
+			}
+		}()
+		cancel2()
+		<-done
+
+		// The Solver must still work after a canceled solve.
+		res, err := s.Eig(a)
+		if err != nil {
+			t.Fatalf("workers=%d post-cancel solve: %v", workers, err)
+		}
+		checkResidual(t, a, res)
+		s.Close()
+	}
+}
+
+func TestSolverClose(t *testing.T) {
+	a := NewMatrix(2)
+	a.SetSym(0, 0, 1)
+	a.SetSym(1, 1, 2)
+	s := NewSolver(&Options{Workers: 2})
+	if _, err := s.Eig(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if _, err := s.Eig(a); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	if _, err := s.EigValues(a); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+// TestSkipSymmetryCheck exercises both sides of the validation toggle: with
+// the check on, an asymmetric matrix is rejected; with it off, the solver
+// trusts the caller and still solves honest symmetric input correctly.
+func TestSkipSymmetryCheck(t *testing.T) {
+	bad := NewMatrix(3)
+	bad.Set(0, 1, 1)
+	bad.Set(1, 0, 5)
+	if _, err := Eig(bad, nil); err == nil {
+		t.Fatal("asymmetric matrix accepted with check on")
+	}
+	if _, err := Eig(bad, &Options{SkipSymmetryCheck: true}); err != nil {
+		t.Fatalf("SkipSymmetryCheck still validated: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(15))
+	a := randSymMatrix(rng, 20)
+	res, err := Eig(a, &Options{SkipSymmetryCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResidual(t, a, res)
+}
+
+// TestEigTo checks the in-place entry point: the vectors land in dst, the
+// result aliases dst, and everything matches the allocating path.
+func TestEigTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	n := 30
+	a := randSymMatrix(rng, n)
+	want, err := Eig(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSolver(nil)
+	defer s.Close()
+	dst := NewMatrix(n)
+	vals, err := s.EigTo(context.Background(), a, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Abs(vals[i]-want.Values[i]) > 1e-12 {
+			t.Fatalf("value %d: %g vs %g", i, vals[i], want.Values[i])
+		}
+	}
+	checkResidual(t, a, &Result{Values: vals, Vectors: dst})
+
+	if _, err := s.EigTo(context.Background(), a, nil); err == nil {
+		t.Fatal("nil destination accepted")
+	}
+	if _, err := s.EigTo(context.Background(), a, NewMatrix(n+1)); err == nil {
+		t.Fatal("mis-sized destination accepted")
+	}
+}
+
+// TestEigValuesSkipsBacktransform verifies the values-only fast path end to
+// end: neither update phase runs and the blocked-reflector flop count drops
+// to the stage-1 reduction's share (the Q₂/Q₁ applications never happen).
+func TestEigValuesSkipsBacktransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randSymMatrix(rng, 40)
+	tcFull := trace.New()
+	if _, err := Eig(a, &Options{NB: 8, Collector: tcFull}); err != nil {
+		t.Fatal(err)
+	}
+	tc := trace.New()
+	if _, err := EigValues(a, &Options{NB: 8, Collector: tc}); err != nil {
+		t.Fatal(err)
+	}
+	if vo, full := tc.Flops(trace.KLarfb), tcFull.Flops(trace.KLarfb); vo >= full {
+		t.Fatalf("values-only solve performed %d Larfb flops, vectors solve %d", vo, full)
+	}
+	phases := tc.Phases()
+	if _, ok := phases[trace.PhaseUpdateQ2]; ok {
+		t.Fatal("values-only solve ran the Q2 update phase")
+	}
+	if _, ok := phases[trace.PhaseUpdateQ1]; ok {
+		t.Fatal("values-only solve ran the Q1 update phase")
+	}
+}
+
+// TestEigValuesRangeNonBI pins the satellite fix: a values-only range
+// request with DC/QR must not accumulate eigenvectors (it runs the
+// rotation-free Sterf path) yet still return the right slice of the
+// spectrum.
+func TestEigValuesRangeNonBI(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	n := 32
+	a := randSymMatrix(rng, n)
+	full, err := Eig(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{DivideAndConquer, QRIteration} {
+		tc := trace.New()
+		vals, err := EigValuesRange(a, 3, 12, &Options{Method: m, NB: 8, Collector: tc})
+		if err != nil {
+			t.Fatalf("method %d: %v", m, err)
+		}
+		if len(vals) != 10 {
+			t.Fatalf("method %d: %d values", m, len(vals))
+		}
+		for i := range vals {
+			if math.Abs(vals[i]-full.Values[i+2]) > 1e-9 {
+				t.Fatalf("method %d value %d: %g vs %g", m, i, vals[i], full.Values[i+2])
+			}
+		}
+		// No eigenvector work: neither back-transformation phase may appear.
+		phases := tc.Phases()
+		if _, ok := phases[trace.PhaseUpdateQ2]; ok {
+			t.Fatalf("method %d: values-only range ran the Q2 update", m)
+		}
+		if _, ok := phases[trace.PhaseUpdateQ1]; ok {
+			t.Fatalf("method %d: values-only range ran the Q1 update", m)
+		}
+	}
+}
