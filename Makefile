@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-reuse
+.PHONY: all build vet test race check bench-reuse bench-backtrans
 
 all: check
 
@@ -24,3 +24,8 @@ check:
 bench-reuse:
 	$(GO) run ./cmd/eigbench -exp reuse
 	$(GO) test -run '^$$' -bench 'BenchmarkSolverReuse|BenchmarkEigOneShot' -benchmem .
+
+# The fused-vs-legacy back-transformation comparison; records the measured
+# points in BENCH_backtrans.json alongside the printed table.
+bench-backtrans:
+	$(GO) run ./cmd/eigbench -exp backtrans -out BENCH_backtrans.json

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +23,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|reuse|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|all")
 		sizes   = flag.String("sizes", "", "comma-separated matrix sizes for sweeps (default 128,256,384,512)")
 		n       = flag.Int("n", 512, "matrix size for single-size experiments")
 		nb      = flag.Int("nb", 32, "tile size where applicable")
 		workers = flag.Int("workers", 0, "scheduler workers (0 = sequential)")
 		reuse   = flag.Bool("reuse", false, "also run the reusable-Solver experiment (same as -exp reuse)")
+		out     = flag.String("out", "BENCH_backtrans.json", "output path for the backtrans experiment's JSON record")
 	)
 	flag.Parse()
 
@@ -100,6 +102,26 @@ func main() {
 	if run("ablate-sched") {
 		show(bench.AblationStage2Cores(*n, *nb, []int{1, 2, 4}))
 		show(bench.AblationStage1Sched(*n, *nb, []int{1, 2, 4}))
+	}
+	if run("ablate-colblock") {
+		show(bench.AblationColBlock(*n, *nb, *workers, []int{16, 32, 64, 128, 256}))
+	}
+	if *exp == "backtrans" { // not part of "all": the large sweep stands alone
+		bsz := sz
+		if *sizes == "" {
+			bsz = []int{512, 1024, 2048}
+		}
+		table, points := bench.BacktransCompare(bsz, *nb, []int{1, 4}, 5)
+		show(table)
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eigbench: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d points)\n", *out, len(points))
 	}
 	if *reuse || run("reuse") {
 		show(reuseTable(min(*n, 512), *nb, *workers, 4))

@@ -79,6 +79,13 @@ type Options struct {
 	// Group is the number of bulge-chasing sweeps aggregated into one
 	// diamond block when applying Q₂; 0 picks the bandwidth.
 	Group int
+	// DisableFusedBacktrans is the kill-switch for the fused single-pass
+	// back-transformation (on by default): when set, Q₂ and Q₁ are applied
+	// in two barrier-separated sweeps over the eigenvector matrix instead
+	// of one fused cache-hot pass per column block. The results are bitwise
+	// identical either way; the switch exists for benchmarking and as an
+	// escape hatch.
+	DisableFusedBacktrans bool
 	// SkipSymmetryCheck disables the O(n²) input-symmetry validation. The
 	// solver then trusts the caller: a non-symmetric input yields the
 	// spectrum of an unspecified nearby matrix rather than an error. Use it
@@ -99,6 +106,9 @@ func (o *Options) toCore(vectors bool, il, iu int) core.Options {
 		c.Stage2Static = o.Stage2Static
 		c.Group = o.Group
 		c.Collector = o.Collector
+		if o.DisableFusedBacktrans {
+			c.FusedBacktrans = core.FuseOff
+		}
 		switch o.Method {
 		case BisectionInverseIteration:
 			c.Method = core.MethodBI

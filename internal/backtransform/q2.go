@@ -15,12 +15,15 @@
 package backtransform
 
 import (
+	"sort"
+
 	"repro/internal/blas"
 	"repro/internal/bulge"
 	"repro/internal/householder"
 	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/tune"
 	"repro/internal/work"
 )
 
@@ -56,6 +59,7 @@ type diamond struct {
 // the block list) and is only valid until the arena is recycled.
 type Plan struct {
 	n     int
+	b     int // chase bandwidth (== stage-1 tile size in the driver)
 	group int
 	maxK  int // widest diamond (bounds the Larfb workspace)
 	ws    *work.Arena
@@ -90,7 +94,7 @@ func NewPlan(res *bulge.Result, group int, ws *work.Arena) *Plan {
 		ws.SetValue(work.BacktransPlan, cache)
 	}
 	p := &cache.plan
-	*p = Plan{n: res.N, group: group, refs: res.Refs, ws: ws}
+	*p = Plan{n: res.N, b: res.B, group: group, refs: res.Refs, ws: ws}
 	if len(res.Refs) == 0 {
 		return p
 	}
@@ -219,10 +223,50 @@ func NewPlan(res *bulge.Result, group int, ws *work.Arena) *Plan {
 // NumBlocks reports how many diamond blocks the plan holds.
 func (p *Plan) NumBlocks() int { return len(p.blocks) }
 
-// OverlapEdges counts ordered pairs of consecutive-in-plan diamonds whose
-// row ranges overlap — the dependence edges of the paper's Figure 3d DAG
-// that the plan's linearization satisfies.
+// MaxK reports the widest diamond (reflector count); it bounds the Larfb
+// workspace an ApplyBlock caller must provide (MaxK·cols floats).
+func (p *Plan) MaxK() int { return p.maxK }
+
+// FlopsPerCol returns the flops Q₂ application spends per eigenvector
+// column (the Larfb cost summed over all diamonds). The fused path uses it
+// to attribute the Q₂ share of its single wall-clock phase.
+func (p *Plan) FlopsPerCol() int64 {
+	var f int64
+	for i := range p.blocks {
+		d := &p.blocks[i]
+		f += 4 * int64(d.rows) * int64(d.k)
+	}
+	return f
+}
+
+// OverlapEdges counts unordered pairs of diamonds whose row ranges overlap —
+// the dependence edges of the paper's Figure 3d DAG that the plan's
+// linearization satisfies. It runs in O(m log m) by counting the complement:
+// a pair is disjoint iff one interval ends at or before the other starts, so
+// edges = C(m,2) − Σᵢ |{j : endⱼ ≤ startᵢ}| (intervals are non-empty, so a
+// disjoint pair is counted exactly once, by its later member).
 func (p *Plan) OverlapEdges() int {
+	m := len(p.blocks)
+	if m < 2 {
+		return 0
+	}
+	starts := make([]int, m)
+	ends := make([]int, m)
+	for i := range p.blocks {
+		starts[i] = p.blocks[i].rowStart
+		ends[i] = p.blocks[i].rowStart + p.blocks[i].rows
+	}
+	sort.Ints(ends)
+	disjoint := 0
+	for _, s := range starts {
+		disjoint += sort.SearchInts(ends, s+1) // ends ≤ s
+	}
+	return m*(m-1)/2 - disjoint
+}
+
+// overlapEdgesQuad is the quadratic reference implementation of
+// OverlapEdges, kept for the equality test that pins the sweep against it.
+func (p *Plan) overlapEdgesQuad() int {
 	edges := 0
 	for i := 0; i < len(p.blocks); i++ {
 		for j := i + 1; j < len(p.blocks); j++ {
@@ -236,11 +280,12 @@ func (p *Plan) OverlapEdges() int {
 }
 
 // Apply computes E := Q₂·E using the diamond blocks. E is partitioned into
-// column blocks of width colBlock (≤ 0 → 64) and each block is one task:
-// with a scheduler-backed job the blocks run concurrently on distinct
-// workers with no shared data; a nil (or inline) job runs them sequentially
-// with one shared workspace, stopping at a block boundary on cancellation
-// (the caller must check job.Err and discard E). tc may be nil.
+// column blocks of width colBlock (≤ 0 → the shared tune.ColBlock default)
+// and each block is one task: with a scheduler-backed job the blocks run
+// concurrently on distinct workers with no shared data, each on its own
+// retained worker slab; a nil (or inline) job runs them sequentially with
+// one shared workspace, stopping at a block boundary on cancellation (the
+// caller must check job.Err and discard E). tc may be nil.
 func (p *Plan) Apply(e *matrix.Dense, job *sched.Job, colBlock int, tc *trace.Collector) {
 	if e.Rows != p.n {
 		panic("backtransform: E row count mismatch")
@@ -249,7 +294,7 @@ func (p *Plan) Apply(e *matrix.Dense, job *sched.Job, colBlock int, tc *trace.Co
 		return
 	}
 	if colBlock <= 0 {
-		colBlock = 64
+		colBlock = tune.ColBlock(e.Cols, p.b, job.Workers())
 	}
 	if !job.Parallel() {
 		wk := p.ws.Floats(work.BacktransApply, p.maxK*min(colBlock, e.Cols), false)
@@ -262,19 +307,25 @@ func (p *Plan) Apply(e *matrix.Dense, job *sched.Job, colBlock int, tc *trace.Co
 		}
 		return
 	}
-	resBase := 1 << 30 // distinct from any tile resource IDs
-	for j0, idx := 0, 0; j0 < e.Cols; j0, idx = j0+colBlock, idx+1 {
+	slabs := p.ws.WorkerSlabs(work.BacktransWorker, job.Workers(), p.maxK*min(colBlock, e.Cols))
+	for j0 := 0; j0 < e.Cols; j0 += colBlock {
 		jb := min(colBlock, e.Cols-j0)
 		view := e.View(0, j0, p.n, jb)
 		job.Submit(sched.Task{
 			Name: "APPLYQ2",
-			Deps: []sched.Dep{sched.RW(resBase + idx)},
-			Run: func(int) {
-				p.applyBlock(view, make([]float64, p.maxK*view.Cols), tc)
+			Run: func(w int) {
+				p.applyBlock(view, slabs.For(w), tc)
 			},
 		})
 	}
 	job.Wait()
+}
+
+// ApplyBlock applies every diamond of the plan to one column block of E.
+// work must hold at least MaxK()·e.Cols floats. It is the Q₂ half of the
+// fused back-transformation task.
+func (p *Plan) ApplyBlock(e *matrix.Dense, work []float64, tc *trace.Collector) {
+	p.applyBlock(e, work, tc)
 }
 
 // applyBlock applies every diamond to one column block of E. work must hold

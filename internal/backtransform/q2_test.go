@@ -167,6 +167,27 @@ func TestApplySubsetColumns(t *testing.T) {
 	}
 }
 
+func TestOverlapEdgesMatchesQuadratic(t *testing.T) {
+	// The sort-and-sweep OverlapEdges must agree with the O(m²) reference
+	// on a spread of plan shapes (including degenerate ones).
+	rng := rand.New(rand.NewSource(9))
+	for _, tc := range []struct{ n, kd, group int }{
+		{20, 4, 1}, {30, 4, 4}, {40, 6, 2}, {25, 3, 8}, {60, 5, 5},
+		{12, 11, 4}, {9, 2, 3}, {50, 7, 16},
+	} {
+		b := randBand(rng, tc.n, tc.kd)
+		res := bulge.Chase(b, nil, 0, true, nil, nil)
+		p := NewPlan(res, tc.group, nil)
+		if got, want := p.OverlapEdges(), p.overlapEdgesQuad(); got != want {
+			t.Fatalf("n=%d kd=%d group=%d: sweep OverlapEdges=%d, quadratic=%d", tc.n, tc.kd, tc.group, got, want)
+		}
+	}
+	empty := &Plan{}
+	if empty.OverlapEdges() != 0 {
+		t.Fatal("empty plan has edges")
+	}
+}
+
 func TestPlanStatistics(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	b := randBand(rng, 30, 4)

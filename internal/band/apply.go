@@ -5,6 +5,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/tune"
 	"repro/internal/work"
 )
 
@@ -18,8 +19,8 @@ import (
 // communication, and each core streams its own block through cache. A nil
 // (or inline) job runs the blocks sequentially with one shared workspace;
 // a canceled job stops at a block boundary, leaving C partially updated
-// (the caller must check job.Err and discard). colBlock ≤ 0 picks f.NB
-// columns per block.
+// (the caller must check job.Err and discard). colBlock ≤ 0 picks the shared
+// tune.ColBlock default.
 func (f *Factor) ApplyQ1(trans blas.Transpose, c *matrix.Dense, job *sched.Job, colBlock int, tc *trace.Collector) {
 	if c.Rows != f.N {
 		panic("band: ApplyQ1 dimension mismatch")
@@ -28,7 +29,7 @@ func (f *Factor) ApplyQ1(trans blas.Transpose, c *matrix.Dense, job *sched.Job, 
 		return
 	}
 	if colBlock <= 0 {
-		colBlock = f.NB
+		colBlock = tune.ColBlock(c.Cols, f.NB, job.Workers())
 	}
 	if !job.Parallel() {
 		wk := f.ws.Floats(work.Q1Apply, f.NB*min(colBlock, c.Cols), false)
@@ -41,22 +42,46 @@ func (f *Factor) ApplyQ1(trans blas.Transpose, c *matrix.Dense, job *sched.Job, 
 		}
 		return
 	}
-	// Column-block resources are disjoint slices of C, so any distinct
-	// resource IDs work; reuse the ID space above the factor's own.
-	base := 5 * f.NT * f.NT
+	// Column blocks are disjoint slices of C, so the tasks need no declared
+	// dependences; each worker reuses its own retained slab.
+	slabs := f.ws.WorkerSlabs(work.Q1Worker, job.Workers(), f.NB*min(colBlock, c.Cols))
 	for j0, idx := 0, 0; j0 < c.Cols; j0, idx = j0+colBlock, idx+1 {
 		jb := min(colBlock, c.Cols-j0)
 		view := c.View(0, j0, f.N, jb)
 		job.Submit(sched.Task{
 			Name: taskName("APPLYQ1", idx, 0),
-			Deps: []sched.Dep{sched.RW(base + idx)},
-			Run: func(int) {
-				work := make([]float64, f.NB*view.Cols)
-				f.applyQ1Block(trans, view, work, tc)
+			Run: func(w int) {
+				f.applyQ1Block(trans, view, slabs.For(w), tc)
 			},
 		})
 	}
 	job.Wait()
+}
+
+// ApplyQ1Block applies the full Q₁ (or its transpose) to one column block of
+// C. work must hold at least f.NB·c.Cols floats. It is the Q₁ half of the
+// fused back-transformation task.
+func (f *Factor) ApplyQ1Block(trans blas.Transpose, c *matrix.Dense, work []float64, tc *trace.Collector) {
+	f.applyQ1Block(trans, c, work, tc)
+}
+
+// Q1FlopsPerCol returns the flops ApplyQ1 spends per column of C (the
+// Ormqr/Tsmqr costs summed over the whole reflector sequence). The fused
+// back-transformation uses it to attribute the Q₁ share of its single
+// wall-clock phase.
+func (f *Factor) Q1FlopsPerCol() int64 {
+	var flops int64
+	nb := int64(f.NB)
+	for k := 0; k <= f.NT-2; k++ {
+		m1 := int64(f.A.TileRows(k + 1))
+		kr := int64(f.PanelReflectors(k))
+		flops += 4 * m1 * kr // Ormqr on the panel's row tile
+		for i := k + 2; i <= f.NT-1; i++ {
+			m2 := int64(f.A.TileRows(i))
+			flops += nb * (4*m2 + nb) // Tsmqr on row pair (k+1, i)
+		}
+	}
+	return flops
 }
 
 // applyQ1Block applies the full Q₁ (or its transpose) to one column block.

@@ -25,6 +25,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/tridiag"
+	"repro/internal/tune"
 	"repro/internal/work"
 )
 
@@ -53,6 +54,28 @@ func (m Method) String() string {
 		return "QR"
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// FuseMode selects the back-transformation execution strategy.
+type FuseMode int
+
+const (
+	// FuseAuto is the default: the fused single-pass back-transformation.
+	FuseAuto FuseMode = iota
+	// FuseOn forces the fused path explicitly.
+	FuseOn
+	// FuseOff is the kill-switch: the legacy two-phase sequence
+	// (PhaseUpdateQ2 then PhaseUpdateQ1 with a global barrier between).
+	FuseOff
+)
+
+// DefaultColBlock is the shared eigenvector column-block default used by
+// both back-transformation appliers (and the fused path): cols eigenvector
+// columns, stage-1 tile size nb, scheduler width workers. It delegates to
+// tune.ColBlock so the appliers — which cannot import core — agree with the
+// driver on the fused task granularity.
+func DefaultColBlock(cols, nb, workers int) int {
+	return tune.ColBlock(cols, nb, workers)
 }
 
 // Options configures the drivers. The zero value computes all eigenvalues
@@ -86,8 +109,13 @@ type Options struct {
 	// (≤ 0 → bandwidth).
 	Group int
 	// ColBlock is the eigenvector column-block width for per-core locality
-	// (≤ 0 → default).
+	// (≤ 0 → the shared DefaultColBlock heuristic).
 	ColBlock int
+	// FusedBacktrans is the kill-switch for the fused single-pass
+	// back-transformation: the zero value (FuseAuto) and FuseOn apply Q₂
+	// and Q₁ per column block in one cache-hot sweep; FuseOff restores the
+	// legacy two-phase sequence. Both paths are bitwise identical.
+	FusedBacktrans FuseMode
 	// Collector receives flop counts and per-phase timings; may be nil.
 	Collector *trace.Collector
 
@@ -183,6 +211,11 @@ func SyevTwoStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, err
 		stage2Aff = (uint64(1) << uint(o.Stage2Workers)) - 1
 	}
 
+	nb := o.NB
+	if nb <= 0 {
+		nb = band.DefaultNB
+	}
+
 	// Stage 1: dense → band. Without a scheduler one inline job serves
 	// every phase (it carries no per-phase state, only the ctx); with a
 	// scheduler each phase gets a fresh Job.
@@ -191,7 +224,7 @@ func SyevTwoStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, err
 	var f1 *band.Factor
 	job := phaseJob(s, ctx)
 	tc.Phase(trace.PhaseStage1, func() {
-		f1 = band.Reduce(aw, o.NB, job, ws, tc)
+		f1 = band.Reduce(aw, nb, job, ws, tc)
 	})
 	if err := job.Err(); err != nil {
 		return nil, err
@@ -237,13 +270,36 @@ func SyevTwoStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, err
 		return nil, err
 	}
 
-	// Back-transformation: Z = Q₁·(Q₂·E).
+	// Back-transformation: Z = Q₁·(Q₂·E). Both paths share one column-block
+	// width so the fused and legacy sweeps partition E identically (which is
+	// what makes them bitwise comparable).
+	colBlock := o.ColBlock
+	if colBlock <= 0 {
+		colBlock = DefaultColBlock(evecs.Cols, nb, workers)
+	}
+	if o.FusedBacktrans != FuseOff {
+		// Fused single pass: one task per column block applies every Q₂
+		// diamond and then the full Q₁ sequence while the block is hot —
+		// no inter-phase barrier, one sweep over E instead of two.
+		if s != nil {
+			job = s.NewJob(ctx)
+		}
+		tc.Phase(trace.PhaseBacktransFused, func() {
+			plan := backtransform.NewPlan(chase, o.Group, ws)
+			plan.ApplyFused(f1, evecs, job, colBlock, tc)
+		})
+		if err := job.Err(); err != nil {
+			return nil, err
+		}
+		res.Vectors = evecs
+		return res, nil
+	}
 	if s != nil {
 		job = s.NewJob(ctx)
 	}
 	tc.Phase(trace.PhaseUpdateQ2, func() {
 		plan := backtransform.NewPlan(chase, o.Group, ws)
-		plan.Apply(evecs, job, o.ColBlock, tc)
+		plan.Apply(evecs, job, colBlock, tc)
 	})
 	if err := job.Err(); err != nil {
 		return nil, err
@@ -252,7 +308,7 @@ func SyevTwoStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, err
 		job = s.NewJob(ctx)
 	}
 	tc.Phase(trace.PhaseUpdateQ1, func() {
-		f1.ApplyQ1(blas.NoTrans, evecs, job, o.ColBlock, tc)
+		f1.ApplyQ1(blas.NoTrans, evecs, job, colBlock, tc)
 	})
 	if err := job.Err(); err != nil {
 		return nil, err

@@ -195,18 +195,109 @@ func TestClusteredSpectrumOrthogonality(t *testing.T) {
 func TestPhaseTimings(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	a := testmat.RandomSym(rng, 64)
+
+	// Default (fused) path: one back-transformation phase, with the Q₂/Q₁
+	// split preserved as attributed flops.
 	tc := trace.New()
 	if _, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8, Collector: tc}); err != nil {
 		t.Fatal(err)
 	}
-	for _, ph := range []string{trace.PhaseStage1, trace.PhaseStage2, trace.PhaseEigT, trace.PhaseUpdateQ2, trace.PhaseUpdateQ1} {
+	for _, ph := range []string{trace.PhaseStage1, trace.PhaseStage2, trace.PhaseEigT, trace.PhaseBacktransFused} {
 		if tc.PhaseTime(ph) <= 0 {
 			t.Fatalf("phase %s not timed", ph)
 		}
 	}
+	if tc.PhaseTime(trace.PhaseUpdateQ2) != 0 || tc.PhaseTime(trace.PhaseUpdateQ1) != 0 {
+		t.Fatal("legacy back-transformation phases timed on the fused path")
+	}
+	if tc.AttributedFlops(trace.PhaseUpdateQ2) <= 0 || tc.AttributedFlops(trace.PhaseUpdateQ1) <= 0 {
+		t.Fatal("fused phase did not attribute the Q2/Q1 flop split")
+	}
 	if tc.TotalFlops() == 0 {
 		t.Fatal("no flops recorded")
 	}
+
+	// Kill-switch: the legacy two-phase sequence is timed under its old
+	// names.
+	tc = trace.New()
+	if _, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8, Collector: tc, FusedBacktrans: FuseOff}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range []string{trace.PhaseUpdateQ2, trace.PhaseUpdateQ1} {
+		if tc.PhaseTime(ph) <= 0 {
+			t.Fatalf("legacy phase %s not timed with FuseOff", ph)
+		}
+	}
+	if tc.PhaseTime(trace.PhaseBacktransFused) != 0 {
+		t.Fatal("fused phase timed with FuseOff")
+	}
+}
+
+// TestFusedBacktransBitwiseIdentity pins the tentpole invariant: the fused
+// single-pass back-transformation produces exactly the same eigenvector
+// matrix as the legacy two-phase sequence — per column block the two paths
+// run the identical kernel stream, so the results must agree to the last
+// bit, for inline jobs and under the dynamic scheduler alike.
+func TestFusedBacktransBitwiseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, workers := range []int{0, 3} {
+		for _, shape := range []struct{ n, nb, colBlock int }{
+			{40, 8, 7},
+			{64, 16, 0}, // shared default colBlock
+			{33, 8, 16},
+			{50, 12, 5},
+			{48, 48, 13}, // single tile column: Q1 sequence is empty
+		} {
+			base := Options{
+				Method: MethodDC, Vectors: true,
+				NB: shape.nb, ColBlock: shape.colBlock, Workers: workers,
+			}
+			a := testmat.RandomSym(rng, shape.n)
+			legacy := base
+			legacy.FusedBacktrans = FuseOff
+			want, err := SyevTwoStage(context.Background(), a, legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fused := base
+			fused.FusedBacktrans = FuseOn
+			got, err := SyevTwoStage(context.Background(), a, fused)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := t.Name()
+			for i := range want.Values {
+				if want.Values[i] != got.Values[i] {
+					t.Fatalf("workers=%d n=%d: eigenvalue %d differs", workers, shape.n, i)
+				}
+			}
+			if !got.Vectors.Equalish(want.Vectors, 0) {
+				t.Fatalf("workers=%d n=%d nb=%d colBlock=%d: fused vectors differ bitwise from legacy",
+					workers, shape.n, shape.nb, shape.colBlock)
+			}
+			checkEigen(t, label, a, got, nil)
+		}
+	}
+}
+
+// TestFusedBacktransSubset covers the fused path on a partial-spectrum solve
+// (thin E): the paper's f < 1 scenario.
+func TestFusedBacktransSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	n := 52
+	a := testmat.RandomSym(rng, n)
+	legacy, err := SyevTwoStage(context.Background(), a, Options{Method: MethodBI, Vectors: true, NB: 8, IL: 3, IU: 17, FusedBacktrans: FuseOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := SyevTwoStage(context.Background(), a, Options{Method: MethodBI, Vectors: true, NB: 8, IL: 3, IU: 17, FusedBacktrans: FuseOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fused.Vectors.Equalish(legacy.Vectors, 0) {
+		t.Fatal("fused subset vectors differ bitwise from legacy")
+	}
+	checkEigen(t, "fused subset", a, fused, nil)
 }
 
 func TestDegenerateSizes(t *testing.T) {

@@ -34,9 +34,15 @@ const (
 	PhaseStage1    = "stage1"     // dense → band
 	PhaseStage2    = "stage2"     // band → tridiagonal (bulge chasing)
 	PhaseEigT      = "eig_t"      // tridiagonal eigensolver
-	PhaseUpdateQ2  = "update_q2"  // apply Q2 to E
-	PhaseUpdateQ1  = "update_q1"  // apply Q1 to (Q2 E)
+	PhaseUpdateQ2  = "update_q2"  // apply Q2 to E (legacy two-phase path)
+	PhaseUpdateQ1  = "update_q1"  // apply Q1 to (Q2 E) (legacy two-phase path)
 	PhaseBacktrans = "back_trans" // total back-transformation
+
+	// PhaseBacktransFused is the fused single-pass back-transformation:
+	// Q₂ and Q₁ applied per column block of E with no inter-phase barrier.
+	// The Q₂/Q₁ split inside it is recorded via AttributeFlops under the
+	// legacy phase names, so the Figure 1 breakdown stays reconstructible.
+	PhaseBacktransFused = "backtrans_fused"
 )
 
 // Collector accumulates flops per kernel class and durations per phase. The
@@ -45,12 +51,13 @@ const (
 type Collector struct {
 	mu     sync.Mutex
 	flops  map[string]*int64
+	attr   map[string]*int64
 	phases map[string]time.Duration
 }
 
 // New returns an empty collector.
 func New() *Collector {
-	return &Collector{flops: make(map[string]*int64), phases: make(map[string]time.Duration)}
+	return &Collector{flops: make(map[string]*int64), attr: make(map[string]*int64), phases: make(map[string]time.Duration)}
 }
 
 // AddFlops records n floating-point operations under the kernel class.
@@ -59,6 +66,9 @@ func (c *Collector) AddFlops(kernel string, n int64) {
 		return
 	}
 	c.mu.Lock()
+	if c.flops == nil {
+		c.flops = make(map[string]*int64)
+	}
 	p, ok := c.flops[kernel]
 	if !ok {
 		p = new(int64)
@@ -66,6 +76,42 @@ func (c *Collector) AddFlops(kernel string, n int64) {
 	}
 	c.mu.Unlock()
 	atomic.AddInt64(p, n)
+}
+
+// AttributeFlops credits n flops to a named phase. It is the accounting
+// side-channel of fused phases: the fused back-transformation runs under one
+// wall-clock phase but attributes its work to PhaseUpdateQ2/PhaseUpdateQ1 so
+// phase breakdowns (Figure 1) can split the fused time by flop share.
+// Attributed flops are bookkeeping only — they never add to TotalFlops (the
+// kernels already counted them by class).
+func (c *Collector) AttributeFlops(phase string, n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.attr == nil {
+		c.attr = make(map[string]*int64)
+	}
+	p, ok := c.attr[phase]
+	if !ok {
+		p = new(int64)
+		c.attr[phase] = p
+	}
+	c.mu.Unlock()
+	atomic.AddInt64(p, n)
+}
+
+// AttributedFlops returns the flops credited to a phase via AttributeFlops.
+func (c *Collector) AttributedFlops(phase string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.attr[phase]; ok {
+		return atomic.LoadInt64(p)
+	}
+	return 0
 }
 
 // Flops returns the recorded count for a kernel class.
@@ -174,5 +220,6 @@ func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.flops = make(map[string]*int64)
+	c.attr = make(map[string]*int64)
 	c.phases = make(map[string]time.Duration)
 }

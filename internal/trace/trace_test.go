@@ -65,6 +65,62 @@ func TestPhaseTiming(t *testing.T) {
 	}
 }
 
+// TestAttributedFlops pins the fused-phase side channel: attribution is
+// kept separately per phase, does not leak into the kernel totals, survives
+// concurrent adds, works on nil and zero-value collectors, and is cleared
+// by Reset.
+func TestAttributedFlops(t *testing.T) {
+	var nilC *Collector
+	nilC.AttributeFlops(PhaseUpdateQ2, 10)
+	if nilC.AttributedFlops(PhaseUpdateQ2) != 0 {
+		t.Fatal("nil collector returned attribution")
+	}
+
+	var zero Collector // zero value, maps lazily initialized
+	zero.AttributeFlops(PhaseUpdateQ1, 7)
+	if zero.AttributedFlops(PhaseUpdateQ1) != 7 {
+		t.Fatal("zero-value collector lost attribution")
+	}
+
+	c := New()
+	c.AddFlops(KGemm, 100)
+	c.AttributeFlops(PhaseUpdateQ2, 40)
+	c.AttributeFlops(PhaseUpdateQ2, 2)
+	c.AttributeFlops(PhaseUpdateQ1, 5)
+	if got := c.AttributedFlops(PhaseUpdateQ2); got != 42 {
+		t.Fatalf("Q2 attribution = %d, want 42", got)
+	}
+	if got := c.AttributedFlops(PhaseUpdateQ1); got != 5 {
+		t.Fatalf("Q1 attribution = %d, want 5", got)
+	}
+	if c.AttributedFlops(PhaseStage1) != 0 {
+		t.Fatal("unattributed phase nonzero")
+	}
+	if c.TotalFlops() != 100 {
+		t.Fatalf("attribution leaked into kernel totals: %d", c.TotalFlops())
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AttributeFlops(PhaseUpdateQ2, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.AttributedFlops(PhaseUpdateQ2); got != 42+8000 {
+		t.Fatalf("concurrent attribution lost updates: %d", got)
+	}
+
+	c.Reset()
+	if c.AttributedFlops(PhaseUpdateQ2) != 0 {
+		t.Fatal("reset did not clear attribution")
+	}
+}
+
 func TestReportAndReset(t *testing.T) {
 	c := New()
 	c.AddFlops(KGemm, 1000)

@@ -31,30 +31,33 @@ type Key string
 
 // The workspace slots used by the solve pipeline.
 const (
-	Stage1Dense    Key = "stage1.dense"    // dense working copy of A
-	Stage1Tiles    Key = "stage1.tiles"    // V₁ tile storage (the reduced A)
-	Stage1Scratch  Key = "stage1.scratch"  // per-worker tile-kernel scratch
-	Stage1Slab     Key = "stage1.slab"     // Tge/Tts block-reflector factors
-	Stage2Band     Key = "stage2.band"     // extracted symmetric band matrix
-	Stage2Work     Key = "stage2.workband" // extended band (bulge) storage
-	Stage2Slab     Key = "stage2.slab"     // Q₂ reflector essentials
-	Stage2Scratch  Key = "stage2.scratch"  // per-worker bulge-kernel scratch
-	Stage2Refs     Key = "stage2.refs"     // reflector lattice slots
-	Stage2Out      Key = "stage2.out"      // chase output (Result + Tridiagonal)
-	Stage2OutD     Key = "stage2.out.d"    // tridiagonal output diagonal
-	Stage2OutE     Key = "stage2.out.e"    // tridiagonal output off-diagonal
-	Stage2Chaser   Key = "stage2.chaser"   // chaser state (refs output list)
-	Stage1Factor   Key = "stage1.factor"   // band factorization header + T lists
-	TridiagD       Key = "tridiag.d"       // diagonal scratch copy
-	TridiagE       Key = "tridiag.e"       // off-diagonal scratch copy
-	BacktransSlab  Key = "backtrans.slab"  // diamond V/T aggregate storage
-	BacktransPlan  Key = "backtrans.plan"  // diamond lattice index + block list
-	BacktransApply Key = "backtrans.apply" // sequential Apply column-block scratch
-	Q1Apply        Key = "stage1.q1apply"  // sequential ApplyQ1 column-block scratch
-	TridiagWork    Key = "tridiag.work"    // D&C / QR solver scratch pool
-	VectorStage    Key = "vectors.stage"   // eigenvector staging matrix
-	OneStagePanel  Key = "onestage.panel"  // DLATRD W panel
-	OneStageWork   Key = "onestage.work"   // ORMTR work + T factor
+	Stage1Dense     Key = "stage1.dense"     // dense working copy of A
+	Stage1Tiles     Key = "stage1.tiles"     // V₁ tile storage (the reduced A)
+	Stage1Scratch   Key = "stage1.scratch"   // per-worker tile-kernel scratch
+	Stage1Slab      Key = "stage1.slab"      // Tge/Tts block-reflector factors
+	Stage2Band      Key = "stage2.band"      // extracted symmetric band matrix
+	Stage2Work      Key = "stage2.workband"  // extended band (bulge) storage
+	Stage2Slab      Key = "stage2.slab"      // Q₂ reflector essentials
+	Stage2Scratch   Key = "stage2.scratch"   // per-worker bulge-kernel scratch
+	Stage2Refs      Key = "stage2.refs"      // reflector lattice slots
+	Stage2Out       Key = "stage2.out"       // chase output (Result + Tridiagonal)
+	Stage2OutD      Key = "stage2.out.d"     // tridiagonal output diagonal
+	Stage2OutE      Key = "stage2.out.e"     // tridiagonal output off-diagonal
+	Stage2Chaser    Key = "stage2.chaser"    // chaser state (refs output list)
+	Stage1Factor    Key = "stage1.factor"    // band factorization header + T lists
+	TridiagD        Key = "tridiag.d"        // diagonal scratch copy
+	TridiagE        Key = "tridiag.e"        // off-diagonal scratch copy
+	BacktransSlab   Key = "backtrans.slab"   // diamond V/T aggregate storage
+	BacktransPlan   Key = "backtrans.plan"   // diamond lattice index + block list
+	BacktransApply  Key = "backtrans.apply"  // sequential Apply column-block scratch
+	BacktransWorker Key = "backtrans.worker" // per-worker parallel Apply scratch
+	FusedApply      Key = "backtrans.fused"  // fused Q₂+Q₁ column-block scratch
+	Q1Apply         Key = "stage1.q1apply"   // sequential ApplyQ1 column-block scratch
+	Q1Worker        Key = "stage1.q1worker"  // per-worker parallel ApplyQ1 scratch
+	TridiagWork     Key = "tridiag.work"     // D&C / QR solver scratch pool
+	VectorStage     Key = "vectors.stage"    // eigenvector staging matrix
+	OneStagePanel   Key = "onestage.panel"   // DLATRD W panel
+	OneStageWork    Key = "onestage.work"    // ORMTR work + T factor
 )
 
 // Arena is a per-solve workspace. It is NOT safe for concurrent use by
@@ -163,6 +166,39 @@ func (a *Arena) PerWorker(k Key, workers, size int) [][]float64 {
 		}
 	}
 	return bufs[:workers]
+}
+
+// slabAlign is the worker-slab stride granularity in float64s (64 bytes =
+// one cache line), so adjacent workers never write the same line.
+const slabAlign = 8
+
+// WorkerSlabs is the per-worker scratch of one parallel phase: equal-size
+// slices carved at cache-line-aligned strides out of a single retained slab,
+// indexed by the worker id that sched.Task.Run receives. Obtaining the slabs
+// happens on the submitting goroutine; each worker then touches only its own
+// slice, so the phase performs no per-task allocation and no false sharing.
+type WorkerSlabs struct {
+	buf    []float64
+	stride int
+	size   int
+}
+
+// For returns worker w's buffer (length = the size the slabs were built
+// with). Contents are unspecified.
+func (s WorkerSlabs) For(w int) []float64 {
+	off := w * s.stride
+	return s.buf[off : off+s.size : off+s.stride]
+}
+
+// WorkerSlabs returns per-worker buffers of the given size for the slot,
+// backed by one slab (a single allocation even on first use; zero in steady
+// state). A nil arena allocates a fresh slab.
+func (a *Arena) WorkerSlabs(k Key, workers, size int) WorkerSlabs {
+	stride := (size + slabAlign - 1) &^ (slabAlign - 1)
+	if stride == 0 {
+		stride = slabAlign
+	}
+	return WorkerSlabs{buf: a.Floats(k, workers*stride, false), stride: stride, size: size}
 }
 
 // SlabOf resets and returns the slot's slab with at least the given

@@ -2,6 +2,7 @@ package work
 
 import (
 	"testing"
+	"unsafe"
 )
 
 func TestFloatsReuseAndZeroing(t *testing.T) {
@@ -133,6 +134,57 @@ func TestPerWorker(t *testing.T) {
 	}
 	if &grown[2][0] != &bufs[2][0] {
 		t.Fatal("existing worker buffers not retained across growth")
+	}
+}
+
+func TestWorkerSlabs(t *testing.T) {
+	a := NewArena()
+	s := a.WorkerSlabs("ws", 3, 10)
+	for w := 0; w < 3; w++ {
+		buf := s.For(w)
+		if len(buf) != 10 {
+			t.Fatalf("worker %d: len %d", w, len(buf))
+		}
+		for i := range buf {
+			buf[i] = float64(w)
+		}
+	}
+	// Disjointness: each worker's writes survived the others'.
+	for w := 0; w < 3; w++ {
+		for i, v := range s.For(w) {
+			if v != float64(w) {
+				t.Fatalf("worker %d elem %d overwritten: %g", w, i, v)
+			}
+		}
+	}
+	// Cache-line alignment: strides are multiples of 8 float64s (64 bytes),
+	// so adjacent workers never share a line.
+	if off := &s.For(1)[0]; (uintptr(unsafe.Pointer(off))-uintptr(unsafe.Pointer(&s.For(0)[0])))%(8*8) != 0 {
+		t.Fatal("worker stride not cache-line aligned")
+	}
+	// Steady state: a same-shape request reuses the retained slab.
+	s2 := a.WorkerSlabs("ws", 3, 10)
+	if &s2.For(0)[0] != &s.For(0)[0] {
+		t.Fatal("slab not retained across requests")
+	}
+	// Appending to one worker's slice must not bleed into the next worker
+	// (full-slice-expression cap).
+	b0 := s.For(0)
+	b0 = append(b0, 99)
+	if s.For(1)[0] == 99 {
+		t.Fatal("append crossed into the next worker's slab")
+	}
+	// Zero-size request still hands out distinct (empty) slots.
+	z := a.WorkerSlabs("z", 2, 0)
+	if len(z.For(0)) != 0 || len(z.For(1)) != 0 {
+		t.Fatal("zero-size slabs not empty")
+	}
+	// Nil arena allocates fresh but keeps the same layout guarantees.
+	var nilA *Arena
+	ns := nilA.WorkerSlabs("x", 2, 5)
+	ns.For(0)[4] = 1
+	if ns.For(1)[4] == 1 {
+		t.Fatal("nil-arena slabs alias")
 	}
 }
 

@@ -7,3 +7,9 @@ set -eux
 go build ./...
 go vet ./...
 go test -race ./...
+
+# The fused back-transformation's concurrency surface, exercised explicitly:
+# worker-slab sharing, mid-phase cancellation, and the bitwise identity of the
+# fused and two-phase paths. Redundant with the full -race sweep above, but
+# kept as a named gate so a future test-pruning pass cannot silently drop it.
+go test -race -run 'TestApplyFused|TestFusedBacktrans|TestSolverCancelDuringBacktrans' ./internal/backtransform ./internal/core .

@@ -86,4 +86,9 @@ func TestSolverReuseAllocRatio(t *testing.T) {
 	if reuse*10 > oneShot {
 		t.Fatalf("steady-state solve allocates too much: one-shot %.0f, reuse %.0f (want ≥ 10× reduction)", oneShot, reuse)
 	}
+	// Absolute gate: with the fused back-transformation and worker slabs, a
+	// steady-state vector solve must not allocate per task or per block.
+	if reuse > 10 {
+		t.Fatalf("steady-state solve allocates %.0f times/solve, want ≤ 10", reuse)
+	}
 }

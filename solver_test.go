@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -156,6 +157,55 @@ func TestSolverCancellation(t *testing.T) {
 		<-done
 
 		// The Solver must still work after a canceled solve.
+		res, err := s.Eig(a)
+		if err != nil {
+			t.Fatalf("workers=%d post-cancel solve: %v", workers, err)
+		}
+		checkResidual(t, a, res)
+		s.Close()
+	}
+}
+
+// TestSolverCancelDuringBacktrans aims the cancellation at the fused
+// back-transformation specifically: it waits until the tridiagonal
+// eigensolve phase has been recorded (the phase immediately before the
+// fused sweep) and cancels then, so with high probability the fused tasks
+// are in flight when the context dies. Run under -race this also checks
+// the worker-slab sharing discipline during teardown. Either outcome —
+// context error or a completed, correct solve — is acceptable; the Solver
+// must stay usable afterwards.
+func TestSolverCancelDuringBacktrans(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randSymMatrix(rng, 96)
+
+	for _, workers := range []int{1, 4} {
+		tc := trace.New()
+		s := NewSolver(&Options{NB: 8, Workers: workers, Collector: tc})
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			res, err := s.EigCtx(ctx, a)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("workers=%d: unexpected error %v", workers, err)
+			}
+			if err == nil {
+				checkResidual(t, a, res)
+			}
+		}()
+		// The tridiagonal phase is timed just before the fused sweep starts.
+	wait:
+		for tc.PhaseTime(trace.PhaseEigT) == 0 {
+			select {
+			case <-done:
+				break wait
+			default:
+				runtime.Gosched()
+			}
+		}
+		cancel()
+		<-done
+
 		res, err := s.Eig(a)
 		if err != nil {
 			t.Fatalf("workers=%d post-cancel solve: %v", workers, err)
