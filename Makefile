@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-reuse bench-backtrans
+.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch
 
 all: check
 
@@ -29,3 +29,8 @@ bench-reuse:
 # points in BENCH_backtrans.json alongside the printed table.
 bench-backtrans:
 	$(GO) run ./cmd/eigbench -exp backtrans -out BENCH_backtrans.json
+
+# Concurrent batch solving vs a sequential loop over the same Solver; records
+# the measured points (with machine context) in BENCH_batch.json.
+bench-batch:
+	$(GO) run ./cmd/eigbench -exp batch -out BENCH_batch.json

@@ -1,0 +1,279 @@
+package eigen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// DefaultBatchFanout is the matrix order at or above which a batch item is
+// decomposed into per-tile tasks on the shared scheduler. Below it the whole
+// solve runs as a single scheduler task: for small problems the per-tile DAG
+// has too little work per task to amortize dependence tracking, and running
+// several whole solves concurrently on different workers parallelizes
+// better.
+const DefaultBatchFanout = 512
+
+// BatchItem describes one independent eigenproblem in a SolveBatch call.
+// The zero value of the optional fields requests a full eigendecomposition
+// with solver-allocated vectors, matching Solver.Eig.
+type BatchItem struct {
+	// A is the symmetric input matrix.
+	A *Matrix
+	// Dst, when non-nil, receives the eigenvectors in place (as in EigTo).
+	// It must be n×k where k is the number of requested pairs (n for the
+	// full spectrum), and must not be combined with ValuesOnly.
+	Dst *Matrix
+	// ValuesOnly skips the eigenvector computation.
+	ValuesOnly bool
+	// IL, IU select eigenpairs il..iu (1-based, ascending, inclusive) as in
+	// EigRange; both zero means the full spectrum.
+	IL, IU int
+}
+
+// BatchResult is the outcome of one BatchItem. Exactly one of Err or the
+// value fields is meaningful: on error Values and Vectors are nil.
+type BatchResult struct {
+	// Values are the computed eigenvalues in ascending order.
+	Values []float64
+	// Vectors holds the matching eigenvectors (nil for ValuesOnly items; the
+	// Dst matrix when one was supplied).
+	Vectors *Matrix
+	// Err is the item's error: validation errors (*NotFiniteError,
+	// *RangeError, shape errors), ErrNoConvergence, the context error, or
+	// ErrClosed. An item's failure never affects the other items.
+	Err error
+	// Trace holds the item's own phase timings and flop counts when the
+	// Solver was built with a Collector (which also receives the merged
+	// totals); nil otherwise.
+	Trace *trace.Collector
+}
+
+// SolveBatch solves many independent eigenproblems concurrently over the
+// Solver's shared scheduler and workspace pool, returning one BatchResult
+// per item (index-aligned with items). Results are bitwise identical to
+// solving each item alone on the same Solver.
+//
+// Admission control bounds the resource footprint: at most
+// Options.BatchConcurrency items (default: the scheduler width) are in
+// flight, and when Options.MemoryBudget is set, items wait until their
+// estimated workspace footprint fits under it. Small problems are submitted
+// as one whole-solve task each on a per-item labeled job (so traces
+// attribute work per item); items with order ≥ Options.BatchFanout fan out
+// into the usual per-tile task DAG. On a sequential Solver (Workers ≤ 1)
+// items run one at a time on the callers' goroutines.
+//
+// SolveBatch never fails as a whole: per-item errors (invalid shapes,
+// non-finite entries, non-convergence, cancellation) land in the matching
+// BatchResult.Err and leave the Solver and every other item untouched.
+// Do not call SolveBatch from inside a scheduler task (e.g. from another
+// solve's Collector callback): the whole-solve tasks it submits would wait
+// on the workers that are already occupied by the caller.
+func (s *Solver) SolveBatch(ctx context.Context, items []BatchItem) []BatchResult {
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	s.mu.Lock()
+	closed, scheduler := s.closed, s.sched
+	s.mu.Unlock()
+	if closed {
+		for i := range out {
+			out[i].Err = ErrClosed
+		}
+		return out
+	}
+
+	slots := 1
+	if scheduler != nil {
+		slots = scheduler.Workers()
+	}
+	if s.opts.BatchConcurrency > 0 {
+		slots = s.opts.BatchConcurrency
+	}
+	if slots > len(items) {
+		slots = len(items)
+	}
+	gate := newBatchGate(slots, s.opts.MemoryBudget)
+	if ctx != nil {
+		// Wake gate waiters when the context dies so they can return its
+		// error instead of blocking on slots that canceled items still hold.
+		stop := context.AfterFunc(ctx, gate.broadcast)
+		defer stop()
+	}
+	fanout := s.opts.BatchFanout
+	if fanout <= 0 {
+		fanout = DefaultBatchFanout
+	}
+
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = s.batchSolve(ctx, i, &items[i], scheduler, gate, fanout)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// batchSolve validates, admits, and runs one batch item.
+func (s *Solver) batchSolve(ctx context.Context, idx int, it *BatchItem, scheduler *sched.Scheduler, gate *batchGate, fanout int) BatchResult {
+	if err := validateBatchItem(it); err != nil {
+		return BatchResult{Err: err}
+	}
+	n := it.A.r
+	vectors := !it.ValuesOnly
+
+	cost := core.EstimateWorkspaceBytes(n, s.opts.NB, vectors)
+	if err := gate.acquire(ctx, cost); err != nil {
+		return BatchResult{Err: err}
+	}
+	defer gate.release(cost)
+
+	// Per-item collector: the item's own trace is reported in the result and
+	// merged into the Solver-level collector, so concurrent items do not
+	// interleave their phase timings.
+	var tc *trace.Collector
+	if s.opts.Collector != nil {
+		tc = trace.New()
+	}
+
+	var res *Result
+	var err error
+	if scheduler != nil && n < fanout {
+		// Whole-solve-as-one-task: one labeled job, one task, inline solve
+		// inside the task body. Distinct items occupy distinct workers.
+		job := scheduler.NewJobNamed(ctx, fmt.Sprintf("batch[%d] n=%d", idx, n))
+		job.Submit(sched.Task{
+			Name: fmt.Sprintf("SOLVE[%d]", idx),
+			Run: func(int) {
+				res, err = s.runSolve(ctx, nil, tc, it.A, it.Dst, vectors, it.IL, it.IU)
+			},
+		})
+		werr := job.Wait() // also orders the closure writes before our reads
+		if res == nil && err == nil {
+			// The task body never ran: the job was canceled or the
+			// scheduler shut down before execution.
+			err = werr
+			if errors.Is(err, sched.ErrStopped) {
+				err = ErrClosed
+			}
+			if err == nil {
+				err = context.Canceled
+			}
+		}
+	} else {
+		// Large problems fan out into the per-tile DAG (scheduler non-nil),
+		// or the Solver is sequential and the solve runs inline here.
+		res, err = s.runSolve(ctx, scheduler, tc, it.A, it.Dst, vectors, it.IL, it.IU)
+	}
+
+	r := BatchResult{Err: err}
+	if err == nil {
+		r.Values = res.Values
+		r.Vectors = res.Vectors
+	}
+	if tc != nil {
+		s.opts.Collector.Merge(tc)
+		r.Trace = tc
+	}
+	return r
+}
+
+// validateBatchItem rejects malformed items before any work is admitted.
+func validateBatchItem(it *BatchItem) error {
+	if it.A == nil {
+		return fmt.Errorf("eigen: batch item has a nil matrix")
+	}
+	if it.A.r != it.A.c {
+		return fmt.Errorf("eigen: matrix must be square, got %d×%d", it.A.r, it.A.c)
+	}
+	if it.Dst != nil {
+		if it.ValuesOnly {
+			return fmt.Errorf("eigen: batch item sets both Dst and ValuesOnly")
+		}
+		n := it.A.r
+		k := n
+		if it.IL != 0 || it.IU != 0 {
+			if it.IL < 1 || it.IU > n || it.IL > it.IU {
+				return &RangeError{IL: it.IL, IU: it.IU, N: n}
+			}
+			k = it.IU - it.IL + 1
+		}
+		if it.Dst.r != n || it.Dst.c != k {
+			return fmt.Errorf("eigen: batch destination is %d×%d, want %d×%d", it.Dst.r, it.Dst.c, n, k)
+		}
+	}
+	return nil
+}
+
+// batchGate is the admission controller for SolveBatch: a counted slot pool
+// plus an optional byte budget. A solve needs one slot and (when a budget is
+// set) its estimated workspace bytes; costs above the budget are clamped to
+// it, so oversized problems run alone rather than deadlocking.
+type batchGate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	slots  int
+	budget int64 // 0 = unlimited
+	avail  int64 // remaining bytes under the budget
+}
+
+func newBatchGate(slots int, budget int64) *batchGate {
+	g := &batchGate{slots: slots, budget: budget, avail: budget}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// acquire blocks until a slot (and budget headroom) is available or ctx is
+// done.
+func (g *batchGate) acquire(ctx context.Context, cost int64) error {
+	if g.budget > 0 && cost > g.budget {
+		cost = g.budget
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if g.slots > 0 && (g.budget == 0 || g.avail >= cost) {
+			g.slots--
+			if g.budget > 0 {
+				g.avail -= cost
+			}
+			return nil
+		}
+		g.cond.Wait()
+	}
+}
+
+// release returns a slot and budget bytes taken by acquire.
+func (g *batchGate) release(cost int64) {
+	if g.budget > 0 && cost > g.budget {
+		cost = g.budget
+	}
+	g.mu.Lock()
+	g.slots++
+	if g.budget > 0 {
+		g.avail += cost
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// broadcast wakes all acquire waiters (used on context cancellation).
+func (g *batchGate) broadcast() {
+	g.mu.Lock()
+	g.mu.Unlock() //nolint:staticcheck // empty critical section orders the wakeup
+	g.cond.Broadcast()
+}

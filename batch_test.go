@@ -1,0 +1,471 @@
+package eigen
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tridiag"
+)
+
+// diagMatrix builds a diagonal matrix from vals. Its spectrum is vals sorted
+// ascending, and — crucially for the convergence-seam tests — the implicit
+// QL/QR solvers converge on it with a zero iteration budget (every
+// off-diagonal is already negligible).
+func diagMatrix(vals []float64) *Matrix {
+	m := NewMatrix(len(vals))
+	for i, v := range vals {
+		m.Set(i, i, v)
+	}
+	return m
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// requireBitwise fails unless the batch result exactly matches a solo solve.
+func requireBitwise(t *testing.T, label string, got BatchResult, wantVals []float64, wantVecs *Matrix) {
+	t.Helper()
+	if got.Err != nil {
+		t.Fatalf("%s: unexpected error %v", label, got.Err)
+	}
+	if !sameFloats(got.Values, wantVals) {
+		t.Fatalf("%s: values differ from solo solve", label)
+	}
+	if (got.Vectors == nil) != (wantVecs == nil) {
+		t.Fatalf("%s: vectors presence mismatch", label)
+	}
+	if wantVecs != nil && !sameFloats(got.Vectors.data, wantVecs.data) {
+		t.Fatalf("%s: vectors differ from solo solve", label)
+	}
+}
+
+// TestSolveBatchMatchesSolo checks the core batch guarantee: a mixed batch
+// solved concurrently is bitwise identical to solving each item alone on the
+// same Solver, across item flavors (full, values-only, range, in-place Dst).
+func TestSolveBatchMatchesSolo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSolver(&Options{Workers: 4})
+	defer s.Close()
+
+	a32 := randSymMatrix(rng, 32)
+	a64 := randSymMatrix(rng, 64)
+	a96 := randSymMatrix(rng, 96)
+	aRange := randSymMatrix(rng, 48)
+	aDst := randSymMatrix(rng, 40)
+	dst := NewMatrix(40)
+
+	items := []BatchItem{
+		{A: a32},
+		{A: a64},
+		{A: a96},
+		{A: a64, ValuesOnly: true},
+		{A: aRange, IL: 3, IU: 10},
+		{A: aDst, Dst: dst},
+	}
+	results := s.SolveBatch(context.Background(), items)
+	if len(results) != len(items) {
+		t.Fatalf("got %d results for %d items", len(results), len(items))
+	}
+
+	r32, err := s.Eig(a32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwise(t, "n=32", results[0], r32.Values, r32.Vectors)
+
+	r64, err := s.Eig(a64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwise(t, "n=64", results[1], r64.Values, r64.Vectors)
+
+	r96, err := s.Eig(a96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwise(t, "n=96", results[2], r96.Values, r96.Vectors)
+
+	vals64, err := s.EigValues(a64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwise(t, "values-only", results[3], vals64, nil)
+
+	rr, err := s.EigRange(aRange, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwise(t, "range", results[4], rr.Values, rr.Vectors)
+
+	if results[5].Vectors != dst {
+		t.Fatal("Dst item did not return the caller's matrix")
+	}
+	soloDst := NewMatrix(40)
+	soloVals, err := s.EigTo(context.Background(), aDst, soloDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwise(t, "dst", results[5], soloVals, soloDst)
+}
+
+// TestSolveBatchSequentialSolver runs a batch on a schedulerless Solver:
+// items execute one at a time but the results contract is unchanged.
+func TestSolveBatchSequentialSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := NewSolver(nil)
+	defer s.Close()
+	a1 := randSymMatrix(rng, 24)
+	a2 := randSymMatrix(rng, 40)
+	results := s.SolveBatch(context.Background(), []BatchItem{{A: a1}, {A: a2}})
+	want1, err := s.Eig(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := s.Eig(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwise(t, "seq item 1", results[0], want1.Values, want1.Vectors)
+	requireBitwise(t, "seq item 2", results[1], want2.Values, want2.Vectors)
+}
+
+// TestSolveBatchFanout forces the per-tile fan-out path (BatchFanout below
+// the problem sizes) and checks it against solo solves too.
+func TestSolveBatchFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewSolver(&Options{Workers: 3, BatchFanout: 1})
+	defer s.Close()
+	a1 := randSymMatrix(rng, 48)
+	a2 := randSymMatrix(rng, 32)
+	results := s.SolveBatch(context.Background(), []BatchItem{{A: a1}, {A: a2}})
+	want1, err := s.Eig(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := s.Eig(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitwise(t, "fanout item 1", results[0], want1.Values, want1.Vectors)
+	requireBitwise(t, "fanout item 2", results[1], want2.Values, want2.Vectors)
+}
+
+// TestSolveBatchMemoryBudget runs a batch under a tight byte budget: items
+// serialize through the admission gate but all still complete.
+func TestSolveBatchMemoryBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := NewSolver(&Options{Workers: 4, MemoryBudget: 1 << 20})
+	defer s.Close()
+	items := make([]BatchItem, 6)
+	for i := range items {
+		items[i].A = randSymMatrix(rng, 64)
+	}
+	for i, r := range s.SolveBatch(context.Background(), items) {
+		if r.Err != nil {
+			t.Fatalf("item %d under budget: %v", i, r.Err)
+		}
+		if len(r.Values) != 64 {
+			t.Fatalf("item %d: %d values", i, len(r.Values))
+		}
+	}
+}
+
+// TestSolveBatchEdgeCases covers the empty batch, the closed solver, and a
+// pre-canceled context.
+func TestSolveBatchEdgeCases(t *testing.T) {
+	if got := NewSolver(nil).SolveBatch(context.Background(), nil); len(got) != 0 {
+		t.Fatal("empty batch must return an empty slice")
+	}
+
+	s := NewSolver(&Options{Workers: 2})
+	s.Close()
+	a := diagMatrix([]float64{1, 2})
+	for i, r := range s.SolveBatch(context.Background(), []BatchItem{{A: a}, {A: a}}) {
+		if !errors.Is(r.Err, ErrClosed) {
+			t.Fatalf("closed solver item %d: err=%v, want ErrClosed", i, r.Err)
+		}
+	}
+
+	s2 := NewSolver(&Options{Workers: 2})
+	defer s2.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, r := range s2.SolveBatch(ctx, []BatchItem{{A: a}, {A: a}, {A: a}}) {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("canceled item %d: err=%v, want context.Canceled", i, r.Err)
+		}
+	}
+	// The solver survives a canceled batch.
+	if _, err := s2.Eig(a); err != nil {
+		t.Fatalf("solver poisoned by canceled batch: %v", err)
+	}
+}
+
+// TestBatchIsolationMixed is the concurrency gate (run under -race by
+// scripts/check.sh): a mixed-size batch where one item carries a NaN, one is
+// forced to fail convergence, one is nil, and one has a bad range. Every
+// failure must be a typed, item-local error; the healthy items and every
+// subsequent solve on the same Solver must be untouched.
+func TestBatchIsolationMixed(t *testing.T) {
+	// Zero iteration budget: diagonal inputs still converge (no off-diagonal
+	// to annihilate), dense inputs fail — per-item failure injection via the
+	// global seam.
+	oldQL := tridiag.MaxIterQL
+	tridiag.MaxIterQL = 0
+	defer func() { tridiag.MaxIterQL = oldQL }()
+
+	rng := rand.New(rand.NewSource(11))
+	s := NewSolver(&Options{Workers: 4, Method: QRIteration})
+	defer s.Close()
+
+	healthySizes := []int{8, 16, 24, 32, 48}
+	items := make([]BatchItem, 0, len(healthySizes)+4)
+	wantDiags := make([][]float64, len(healthySizes))
+	for i, n := range healthySizes {
+		d := make([]float64, n)
+		for j := range d {
+			d[j] = rng.NormFloat64()
+		}
+		wantDiags[i] = d
+		items = append(items, BatchItem{A: diagMatrix(d)})
+	}
+	nanItem := diagMatrix([]float64{1, 2, 3, 4})
+	nanItem.Set(2, 1, math.NaN())
+	nanItem.Set(1, 2, math.NaN())
+	dense := randSymMatrix(rng, 20)
+	items = append(items,
+		BatchItem{A: nanItem},
+		BatchItem{A: dense}, // fails convergence under the zero budget
+		BatchItem{},         // nil matrix
+		BatchItem{A: diagMatrix([]float64{1, 2}), IL: 5, IU: 9, Dst: NewMatrix(2)},
+	)
+
+	results := s.SolveBatch(context.Background(), items)
+
+	for i := range healthySizes {
+		r := results[i]
+		if r.Err != nil {
+			t.Fatalf("healthy item %d failed: %v", i, r.Err)
+		}
+		want := append([]float64(nil), wantDiags[i]...)
+		for a := range want { // insertion sort; the spectrum is the sorted diagonal
+			for b := a; b > 0 && want[b] < want[b-1]; b-- {
+				want[b], want[b-1] = want[b-1], want[b]
+			}
+		}
+		for j := range want {
+			if math.Abs(r.Values[j]-want[j]) > 1e-12 {
+				t.Fatalf("healthy item %d value %d: got %g want %g", i, j, r.Values[j], want[j])
+			}
+		}
+	}
+
+	base := len(healthySizes)
+	var nfe *NotFiniteError
+	if !errors.As(results[base].Err, &nfe) || !errors.Is(results[base].Err, ErrNotFinite) {
+		t.Fatalf("NaN item: err=%v, want *NotFiniteError", results[base].Err)
+	}
+	if results[base+1].Err != ErrNoConvergence {
+		t.Fatalf("forced item: err=%v, want ErrNoConvergence (unwrapped)", results[base+1].Err)
+	}
+	if results[base+2].Err == nil {
+		t.Fatal("nil-matrix item did not error")
+	}
+	if !errors.Is(results[base+3].Err, ErrInvalidRange) {
+		t.Fatalf("bad-range item: err=%v, want ErrInvalidRange", results[base+3].Err)
+	}
+
+	// The failed items must not have poisoned the Solver: the dense problem
+	// solves fine once the iteration budget is restored.
+	tridiag.MaxIterQL = oldQL
+	res, err := s.Eig(dense)
+	if err != nil {
+		t.Fatalf("solver poisoned by failed batch items: %v", err)
+	}
+	if len(res.Values) != 20 {
+		t.Fatalf("post-batch solve: %d values", len(res.Values))
+	}
+}
+
+// TestNotFiniteError places NaN, +Inf and -Inf at assorted positions and
+// checks the typed error (and the skip switch) for both algorithms.
+func TestNotFiniteError(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, alg := range []Algorithm{TwoStage, OneStage} {
+		for _, tc := range []struct {
+			name string
+			v    float64
+			i, j int
+		}{
+			{"NaN-offdiag", math.NaN(), 3, 1},
+			{"+Inf-diag", math.Inf(1), 2, 2},
+			{"-Inf-corner", math.Inf(-1), 7, 7},
+			{"NaN-first", math.NaN(), 0, 0},
+		} {
+			a := randSymMatrix(rng, 8)
+			a.SetSym(tc.i, tc.j, tc.v)
+			_, err := Eig(a, &Options{Algorithm: alg})
+			var nfe *NotFiniteError
+			if !errors.As(err, &nfe) {
+				t.Fatalf("alg=%v %s: err=%v, want *NotFiniteError", alg, tc.name, err)
+			}
+			if !errors.Is(err, ErrNotFinite) {
+				t.Fatalf("alg=%v %s: errors.Is(ErrNotFinite) false", alg, tc.name)
+			}
+			// The scan is column-major, so the first hit is the smallest
+			// (col, row) position among the two symmetric entries.
+			if nfe.Row < 0 || nfe.Row >= 8 || nfe.Col < 0 || nfe.Col >= 8 {
+				t.Fatalf("alg=%v %s: reported position (%d,%d) out of matrix", alg, tc.name, nfe.Row, nfe.Col)
+			}
+			if got := a.At(nfe.Row, nfe.Col); got != tc.v && !(math.IsNaN(got) && math.IsNaN(tc.v)) {
+				t.Fatalf("alg=%v %s: reported position (%d,%d) holds %v, not the bad value", alg, tc.name, nfe.Row, nfe.Col, got)
+			}
+		}
+	}
+
+	// SkipFiniteCheck suppresses the scan; with the symmetry check also off,
+	// the solve proceeds into the pipeline (garbage in, garbage out).
+	a := diagMatrix([]float64{1, 2, 3})
+	a.Set(1, 1, math.NaN())
+	vals, err := EigValues(a, &Options{SkipFiniteCheck: true, SkipSymmetryCheck: true})
+	if errors.Is(err, ErrNotFinite) {
+		t.Fatal("SkipFiniteCheck did not suppress the scan")
+	}
+	if err == nil {
+		hasNaN := false
+		for _, v := range vals {
+			hasNaN = hasNaN || math.IsNaN(v)
+		}
+		if !hasNaN {
+			t.Fatal("NaN input with checks skipped produced a finite spectrum")
+		}
+	}
+}
+
+// TestOptionsClamp feeds out-of-range option values into every knob that
+// used to reach a panic in internal layers (the scheduler rejects widths
+// over 64; negative sizes corrupted block-size selection) and expects a
+// correct solve instead.
+func TestOptionsClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randSymMatrix(rng, 24)
+	want, err := Eig(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []*Options{
+		{Workers: 1000},
+		{Workers: -5},
+		{NB: -3},
+		{Workers: 2, Stage2Workers: 1 << 20, Stage2Static: true},
+		{Group: -2},
+		{MemoryBudget: -1, BatchConcurrency: -4, BatchFanout: -1},
+	} {
+		res, err := Eig(a, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", *opts, err)
+		}
+		for i := range want.Values {
+			if math.Abs(res.Values[i]-want.Values[i]) > 1e-10 {
+				t.Fatalf("opts %+v: eigenvalue %d drifted", *opts, i)
+			}
+		}
+	}
+}
+
+// TestNoConvergencePropagation forces the QL/QR iteration to fail and checks
+// that tridiag.ErrNoConvergence comes back through Solver.EigTo unwrapped
+// (err == sentinel), for both the vectors (steqr) and values-only (sterf)
+// paths, and that the Solver with its pooled workspaces survives.
+func TestNoConvergencePropagation(t *testing.T) {
+	oldQL := tridiag.MaxIterQL
+	tridiag.MaxIterQL = 0
+	restore := func() { tridiag.MaxIterQL = oldQL }
+	defer restore()
+
+	rng := rand.New(rand.NewSource(14))
+	a := randSymMatrix(rng, 24)
+	s := NewSolver(&Options{Method: QRIteration})
+	defer s.Close()
+
+	dst := NewMatrix(24)
+	_, err := s.EigTo(context.Background(), a, dst)
+	if err != ErrNoConvergence {
+		t.Fatalf("EigTo: err=%v, want ErrNoConvergence unwrapped", err)
+	}
+	if !errors.Is(err, tridiag.ErrNoConvergence) {
+		t.Fatal("sentinel identity lost")
+	}
+
+	if _, err := s.EigValues(a); err != ErrNoConvergence {
+		t.Fatalf("EigValues (sterf path): err=%v, want ErrNoConvergence", err)
+	}
+
+	// Same solver, same pooled arena: a clean solve right after the failures.
+	restore()
+	vals, err := s.EigTo(context.Background(), a, dst)
+	if err != nil {
+		t.Fatalf("solve after no-convergence failure: %v", err)
+	}
+	if len(vals) != 24 {
+		t.Fatalf("got %d values", len(vals))
+	}
+}
+
+// TestDegenerateShapes pins the n=0 and n=1 behavior and the typed range
+// errors, consistently across both algorithms.
+func TestDegenerateShapes(t *testing.T) {
+	for _, alg := range []Algorithm{TwoStage, OneStage} {
+		opts := &Options{Algorithm: alg}
+
+		res, err := Eig(NewMatrix(0), opts)
+		if err != nil {
+			t.Fatalf("alg=%v n=0: %v", alg, err)
+		}
+		if len(res.Values) != 0 || res.Vectors != nil {
+			t.Fatalf("alg=%v n=0: values=%v vectors=%v, want empty/nil", alg, res.Values, res.Vectors)
+		}
+
+		res, err = Eig(NewMatrixFrom(1, []float64{5}), opts)
+		if err != nil {
+			t.Fatalf("alg=%v n=1: %v", alg, err)
+		}
+		if len(res.Values) != 1 || res.Values[0] != 5 {
+			t.Fatalf("alg=%v n=1: values=%v", alg, res.Values)
+		}
+		if res.Vectors == nil || math.Abs(math.Abs(res.Vectors.At(0, 0))-1) > 1e-15 {
+			t.Fatalf("alg=%v n=1: bad eigenvector", alg)
+		}
+
+		a := diagMatrix([]float64{1, 2, 3})
+		for _, rg := range [][2]int{{0, 2}, {-1, 2}, {2, 1}, {1, 4}, {4, 4}} {
+			if _, err := EigRange(a, rg[0], rg[1], opts); !errors.Is(err, ErrInvalidRange) {
+				t.Fatalf("alg=%v range %v: err=%v, want ErrInvalidRange", alg, rg, err)
+			}
+			if _, err := EigValuesRange(a, rg[0], rg[1], opts); !errors.Is(err, ErrInvalidRange) {
+				t.Fatalf("alg=%v values range %v: err=%v, want ErrInvalidRange", alg, rg, err)
+			}
+		}
+		// Any range against an empty matrix is invalid.
+		if _, err := EigRange(NewMatrix(0), 1, 1, opts); !errors.Is(err, ErrInvalidRange) {
+			t.Fatalf("alg=%v range on n=0: err=%v, want ErrInvalidRange", alg, err)
+		}
+		var re *RangeError
+		_, err = EigRange(a, 1, 7, opts)
+		if !errors.As(err, &re) || re.IL != 1 || re.IU != 7 || re.N != 3 {
+			t.Fatalf("alg=%v: RangeError fields %+v from %v", alg, re, err)
+		}
+	}
+}

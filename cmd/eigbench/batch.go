@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	eigen "repro"
+	"repro/internal/bench"
+)
+
+// BatchPoint is one recorded batch-throughput measurement, written to
+// BENCH_batch.json. NumCPU/Gomaxprocs are recorded because concurrent batch
+// solving can only beat the sequential loop when hardware parallelism exists;
+// on a single-core machine the two modes measure scheduling overhead only.
+type BatchPoint struct {
+	N           int     `json:"n"`
+	Batch       int     `json:"batch"`
+	Workers     int     `json:"workers"`
+	SeqSec      float64 `json:"sequential_sec"`
+	BatchSec    float64 `json:"batch_sec"`
+	SeqRate     float64 `json:"sequential_solves_per_sec"`
+	BatchRate   float64 `json:"batch_solves_per_sec"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"bitwise_identical"`
+	NumCPU      int     `json:"num_cpu"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
+	BatchFanout int     `json:"batch_fanout"`
+}
+
+// batchThroughput compares, per matrix size, a sequential EigTo loop against
+// SolveBatch over the same Solver, and checks the bitwise-identity contract
+// on every eigenvalue and eigenvector.
+func batchThroughput(sizes []int, batch, workers int) (*bench.Table, []BatchPoint) {
+	if batch <= 0 {
+		batch = 32
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	rng := rand.New(rand.NewSource(1234))
+
+	table := &bench.Table{
+		Name:    fmt.Sprintf("Concurrent batch vs sequential loop (batch=%d, workers=%d, NumCPU=%d)", batch, workers, runtime.NumCPU()),
+		Headers: []string{"n", "seq solves/s", "batch solves/s", "speedup", "bitwise"},
+	}
+	var points []BatchPoint
+
+	for _, n := range sizes {
+		problems := make([]*eigen.Matrix, batch)
+		for p := range problems {
+			m := eigen.NewMatrix(n)
+			for i := 0; i < n; i++ {
+				for j := i; j < n; j++ {
+					m.SetSym(i, j, rng.NormFloat64())
+				}
+			}
+			problems[p] = m
+		}
+
+		s := eigen.NewSolver(&eigen.Options{Workers: workers, SkipSymmetryCheck: true})
+		ctx := context.Background()
+
+		// Sequential baseline: one solve at a time on the same Solver.
+		seqDst := make([]*eigen.Matrix, batch)
+		seqVals := make([][]float64, batch)
+		for p := range problems {
+			seqDst[p] = eigen.NewMatrix(n)
+		}
+		if _, err := s.EigTo(ctx, problems[0], eigen.NewMatrix(n)); err != nil { // warm the arena pool
+			panic(err)
+		}
+		seqStart := time.Now()
+		for p, a := range problems {
+			vals, err := s.EigTo(ctx, a, seqDst[p])
+			if err != nil {
+				panic(err)
+			}
+			seqVals[p] = vals
+		}
+		seqSec := time.Since(seqStart).Seconds()
+
+		// Concurrent batch over the same Solver.
+		items := make([]eigen.BatchItem, batch)
+		batchDst := make([]*eigen.Matrix, batch)
+		for p := range items {
+			batchDst[p] = eigen.NewMatrix(n)
+			items[p] = eigen.BatchItem{A: problems[p], Dst: batchDst[p]}
+		}
+		batchStart := time.Now()
+		results := s.SolveBatch(ctx, items)
+		batchSec := time.Since(batchStart).Seconds()
+		s.Close()
+
+		identical := true
+		for p, r := range results {
+			if r.Err != nil {
+				panic(fmt.Sprintf("batch item %d: %v", p, r.Err))
+			}
+			for i, v := range r.Values {
+				if v != seqVals[p][i] {
+					identical = false
+				}
+			}
+			for i := 0; i < n && identical; i++ {
+				for j := 0; j < n; j++ {
+					if batchDst[p].At(i, j) != seqDst[p].At(i, j) {
+						identical = false
+						break
+					}
+				}
+			}
+		}
+
+		pt := BatchPoint{
+			N:           n,
+			Batch:       batch,
+			Workers:     workers,
+			SeqSec:      seqSec,
+			BatchSec:    batchSec,
+			SeqRate:     float64(batch) / seqSec,
+			BatchRate:   float64(batch) / batchSec,
+			Speedup:     seqSec / batchSec,
+			Identical:   identical,
+			NumCPU:      runtime.NumCPU(),
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
+			BatchFanout: eigen.DefaultBatchFanout,
+		}
+		points = append(points, pt)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", pt.SeqRate),
+			fmt.Sprintf("%.2f", pt.BatchRate),
+			fmt.Sprintf("%.2f×", pt.Speedup),
+			fmt.Sprintf("%v", identical),
+		})
+	}
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d; batch speedup requires hardware parallelism — on one core it measures admission/scheduling overhead", runtime.GOMAXPROCS(0)))
+	return table, points
+}

@@ -23,13 +23,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|batch|all")
 		sizes   = flag.String("sizes", "", "comma-separated matrix sizes for sweeps (default 128,256,384,512)")
 		n       = flag.Int("n", 512, "matrix size for single-size experiments")
 		nb      = flag.Int("nb", 32, "tile size where applicable")
 		workers = flag.Int("workers", 0, "scheduler workers (0 = sequential)")
 		reuse   = flag.Bool("reuse", false, "also run the reusable-Solver experiment (same as -exp reuse)")
-		out     = flag.String("out", "BENCH_backtrans.json", "output path for the backtrans experiment's JSON record")
+		out     = flag.String("out", "BENCH_backtrans.json", "output path for the backtrans/batch experiments' JSON record (batch defaults to BENCH_batch.json)")
 	)
 	flag.Parse()
 
@@ -125,6 +125,31 @@ func main() {
 	}
 	if *reuse || run("reuse") {
 		show(reuseTable(min(*n, 512), *nb, *workers, 4))
+	}
+	if *exp == "batch" { // not part of "all": the batch sweep stands alone
+		bsz := sz
+		if *sizes == "" {
+			bsz = []int{64, 256, 1024}
+		}
+		w := *workers
+		if w == 0 {
+			w = 8
+		}
+		table, points := batchThroughput(bsz, 32, w)
+		show(table)
+		path := *out
+		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
+			path = "BENCH_batch.json"
+		}
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eigbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d points)\n", path, len(points))
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "eigbench: unknown experiment %q (see -h)\n", *exp)

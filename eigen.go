@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -68,6 +69,8 @@ type Options struct {
 	// 0 picks a default. See the tuning discussion in EXPERIMENTS.md.
 	NB int
 	// Workers sets the task-scheduler width; 0 or 1 runs sequentially.
+	// Values above sched.MaxWorkers (64, the width of the scheduler's
+	// affinity masks) are clamped to 64; negative values run sequentially.
 	Workers int
 	// Stage2Workers restricts the memory-bound bulge-chasing stage to fewer
 	// cores for locality (the paper's hybrid scheduling); 0 = no limit.
@@ -92,9 +95,61 @@ type Options struct {
 	// when matrices are constructed symmetric by design and the solve is
 	// latency-critical.
 	SkipSymmetryCheck bool
+	// SkipFiniteCheck disables the O(n²) scan that rejects NaN/±Inf inputs
+	// with a *NotFiniteError before any factorization work. With the check
+	// skipped, a non-finite input produces unspecified results (typically a
+	// NaN-filled spectrum or a symmetry-check failure).
+	SkipFiniteCheck bool
 	// Collector, when non-nil, receives per-phase timings and per-kernel
-	// flop counts.
+	// flop counts. Batch solves attribute work per item into child
+	// collectors and merge them here (see BatchResult.Trace).
 	Collector *trace.Collector
+	// MemoryBudget caps the bytes of workspace the Solver's arena pool
+	// retains across solves, and — during SolveBatch — the estimated
+	// footprint of concurrently admitted solves. 0 means unlimited.
+	MemoryBudget int64
+	// BatchConcurrency caps how many batch items SolveBatch runs at once;
+	// 0 picks the scheduler width (Workers, or 1 for a sequential Solver).
+	BatchConcurrency int
+	// BatchFanout is the matrix order at or above which a batch item fans
+	// out into per-tile tasks on the shared scheduler instead of running as
+	// a single whole-solve task; 0 picks DefaultBatchFanout.
+	BatchFanout int
+}
+
+// normalize clamps out-of-range option values in place so that invalid
+// settings degrade to the nearest sane configuration instead of panicking in
+// internal layers (the scheduler's affinity masks hard-cap worker counts at
+// sched.MaxWorkers).
+func (o *Options) normalize() {
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
+	if o.Workers > sched.MaxWorkers {
+		o.Workers = sched.MaxWorkers
+	}
+	if o.NB < 0 {
+		o.NB = 0
+	}
+	if o.Stage2Workers < 0 {
+		o.Stage2Workers = 0
+	}
+	if o.Stage2Workers > sched.MaxWorkers {
+		// The static stage-2 runtime sizes per-worker state from this value.
+		o.Stage2Workers = sched.MaxWorkers
+	}
+	if o.Group < 0 {
+		o.Group = 0
+	}
+	if o.MemoryBudget < 0 {
+		o.MemoryBudget = 0
+	}
+	if o.BatchConcurrency < 0 {
+		o.BatchConcurrency = 0
+	}
+	if o.BatchFanout < 0 {
+		o.BatchFanout = 0
+	}
 }
 
 func (o *Options) toCore(vectors bool, il, iu int) core.Options {

@@ -133,6 +133,30 @@ type Options struct {
 	Dst *matrix.Dense
 }
 
+// EstimateWorkspaceBytes is the admission-control model of one solve's peak
+// internal workspace: the dense working copy, the stage-1 tile storage, the
+// band/workband/reflector structures (O(n·nb)), and — when vectors are
+// computed — the eigenvector staging matrix plus the D&C basis and merge
+// scratch (≈2n² more). It deliberately overestimates slightly: the batch
+// layer uses it to bound how many solves may hold workspace concurrently
+// under a memory budget, where admitting late is recoverable and admitting
+// past physical memory is not. nb ≤ 0 means the default tile size.
+func EstimateWorkspaceBytes(n, nb int, vectors bool) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if nb <= 0 {
+		nb = band.DefaultNB
+	}
+	nn := int64(n) * int64(n)
+	bytes := 2 * nn // dense working copy + tile storage
+	if vectors {
+		bytes += 3 * nn // vector staging + D&C basis and merge scratch
+	}
+	bytes += 8 * int64(n) * int64(nb+2) // band, workband, reflector slabs, scratch
+	return 8 * bytes
+}
+
 // Result of an eigensolve.
 type Result struct {
 	// Values are the computed eigenvalues in ascending order (the requested

@@ -32,6 +32,16 @@ func NewTileMatrix(n, nb int) *TileMatrix {
 	return t
 }
 
+// WorkspaceBytes reports the retained tile storage (for workspace-budget
+// accounting; see work.WorkspaceSized).
+func (t *TileMatrix) WorkspaceBytes() int64 {
+	var b int64
+	for _, tile := range t.tiles {
+		b += int64(cap(tile)) * 8
+	}
+	return b
+}
+
 // TileRows returns the row count of tiles in tile-row i.
 func (t *TileMatrix) TileRows(i int) int {
 	if i < 0 || i >= t.NT {

@@ -1,6 +1,14 @@
 package sched
 
-import "context"
+import (
+	"context"
+	"errors"
+)
+
+// ErrStopped is the sticky error of a job whose task was submitted after the
+// scheduler shut down; the task is dropped rather than run (and rather than
+// panicking the submitter).
+var ErrStopped = errors.New("sched: scheduler is shut down")
 
 // Job is one logical stream of tasks submitted to a (possibly shared)
 // Scheduler: it carries its own dependence frontier, completion count, and
@@ -13,8 +21,9 @@ import "context"
 // written once against the Job API and works in all three modes
 // (sequential, scheduled, canceled).
 type Job struct {
-	s   *Scheduler // nil → inline execution
-	ctx context.Context
+	s     *Scheduler // nil → inline execution
+	ctx   context.Context
+	label string // attribution label carried into TraceEvents ("" = anonymous)
 
 	// Scheduler-mode state, guarded by s.mu.
 	resources map[int]*resourceState
@@ -31,7 +40,22 @@ type Job struct {
 // bodies, Wait returns ctx's error, and the scheduler stays usable for
 // other jobs. A nil ctx means no cancellation.
 func (s *Scheduler) NewJob(ctx context.Context) *Job {
-	return &Job{s: s, ctx: ctx, resources: make(map[int]*resourceState)}
+	return s.NewJobNamed(ctx, "")
+}
+
+// NewJobNamed is NewJob with an attribution label: every TraceEvent produced
+// by the job's tasks carries it, so co-scheduled solves sharing one pool can
+// be told apart in traces (the per-solve namespacing of the batch layer).
+func (s *Scheduler) NewJobNamed(ctx context.Context, label string) *Job {
+	return &Job{s: s, ctx: ctx, label: label, resources: make(map[int]*resourceState)}
+}
+
+// Label returns the job's attribution label.
+func (j *Job) Label() string {
+	if j == nil {
+		return ""
+	}
+	return j.label
 }
 
 // Inline creates a schedulerless job: Submit runs each task immediately on

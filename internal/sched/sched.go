@@ -79,6 +79,7 @@ type TraceEvent struct {
 	Worker     int
 	Start, End time.Duration // relative to scheduler start
 	Seq        int           // submission sequence number
+	Job        string        // label of the job the task ran under ("" for the default job)
 }
 
 // node is the runtime state of a submitted task.
@@ -135,6 +136,12 @@ func WithTrace() Option { return func(s *Scheduler) { s.trace = true } }
 // observable).
 func Deferred() Option { return func(s *Scheduler) { s.started = false } }
 
+// MaxWorkers is the widest pool New accepts: affinity masks are 64-bit, one
+// bit per worker. Public entry points must clamp (or reject) user-supplied
+// widths against this bound before reaching New — New itself panics, which is
+// acceptable only for internal callers that pass validated values.
+const MaxWorkers = 64
+
 // New creates a dynamic scheduler with the given number of workers. Workers
 // are goroutines; on a machine with fewer cores they time-share, which
 // preserves the dependence semantics (and lets the scheduler logic be tested
@@ -143,7 +150,7 @@ func New(workers int, opts ...Option) *Scheduler {
 	if workers < 1 {
 		panic("sched: need at least one worker")
 	}
-	if workers > 64 {
+	if workers > MaxWorkers {
 		panic("sched: at most 64 workers (affinity masks are 64-bit)")
 	}
 	s := &Scheduler{
@@ -188,7 +195,15 @@ func (s *Scheduler) submit(j *Job, t Task) {
 
 func (s *Scheduler) submitLocked(j *Job, t Task) {
 	if s.stopped {
-		panic("sched: submit after Shutdown")
+		// A submit that races Shutdown (a solve snapshotting the scheduler
+		// just before Close) must not panic from library code: the task is
+		// dropped and the job turns sticky-failed, so the solve's next
+		// Err/Wait reports ErrStopped instead of crashing the process.
+		if !j.canceled {
+			j.canceled = true
+			j.err = ErrStopped
+		}
+		return
 	}
 	n := &node{task: t, job: j, seq: s.seq}
 	s.seq++
@@ -331,6 +346,7 @@ func (s *Scheduler) worker(id int) {
 		if s.trace && !skip {
 			s.events = append(s.events, TraceEvent{
 				Name: n.task.Name, Worker: id, Start: start, End: end, Seq: n.seq,
+				Job: n.job.label,
 			})
 		}
 		for _, c := range n.children {

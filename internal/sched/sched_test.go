@@ -424,3 +424,55 @@ func TestWorkersAndString(t *testing.T) {
 	}()
 	s.Submit(Task{Name: "empty"})
 }
+
+func TestJobLabelInTrace(t *testing.T) {
+	// Per-job attribution: every trace event carries the label of the job
+	// that submitted it, so co-scheduled solves can be told apart.
+	s := New(2, WithTrace())
+	defer s.Shutdown()
+	ja := s.NewJobNamed(nil, "solve-a")
+	jb := s.NewJobNamed(nil, "solve-b")
+	if ja.Label() != "solve-a" {
+		t.Fatalf("Label = %q", ja.Label())
+	}
+	for i := 0; i < 3; i++ {
+		ja.Submit(Task{Name: "a", Run: func(int) {}})
+		jb.Submit(Task{Name: "b", Run: func(int) {}})
+	}
+	s.Submit(Task{Name: "anon", Run: func(int) {}})
+	ja.Wait()
+	jb.Wait()
+	s.Wait()
+	counts := map[string]int{}
+	for _, ev := range s.Trace() {
+		counts[ev.Job]++
+	}
+	if counts["solve-a"] != 3 || counts["solve-b"] != 3 || counts[""] != 1 {
+		t.Fatalf("job attribution counts: %v", counts)
+	}
+}
+
+func TestNewRejectsTooManyWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(65) did not panic; public entry points rely on clamping against MaxWorkers")
+		}
+	}()
+	New(MaxWorkers + 1)
+}
+
+func TestSubmitAfterShutdown(t *testing.T) {
+	// A task submitted after Shutdown is dropped and the job's error is the
+	// sticky ErrStopped — no panic, no hang.
+	s := New(1)
+	s.Shutdown()
+	j := s.NewJob(nil)
+	ran := false
+	j.Submit(Task{Name: "late", Run: func(int) { ran = true }})
+	if ran {
+		t.Fatal("task ran after shutdown")
+	}
+	if err := j.Err(); err != ErrStopped {
+		t.Fatalf("Err = %v, want ErrStopped", err)
+	}
+}

@@ -212,6 +212,41 @@ func (c *Collector) FlopReport() string {
 	return s
 }
 
+// Merge adds src's flop counters, attributed flops and phase durations into
+// c. It is how the batch layer gives every co-scheduled solve its own
+// collector (so per-solve timings stay attributable) while the Solver's
+// caller-supplied collector still sees the aggregate. src is snapshotted
+// under its own lock; concurrent recording into src during the merge may or
+// may not be included.
+func (c *Collector) Merge(src *Collector) {
+	if c == nil || src == nil || c == src {
+		return
+	}
+	src.mu.Lock()
+	flops := make(map[string]int64, len(src.flops))
+	for k, p := range src.flops {
+		flops[k] = atomic.LoadInt64(p)
+	}
+	attr := make(map[string]int64, len(src.attr))
+	for k, p := range src.attr {
+		attr[k] = atomic.LoadInt64(p)
+	}
+	phases := make(map[string]time.Duration, len(src.phases))
+	for k, v := range src.phases {
+		phases[k] = v
+	}
+	src.mu.Unlock()
+	for k, v := range flops {
+		c.AddFlops(k, v)
+	}
+	for k, v := range attr {
+		c.AttributeFlops(k, v)
+	}
+	for k, v := range phases {
+		c.AddPhase(k, v)
+	}
+}
+
 // Reset clears all counters and phases.
 func (c *Collector) Reset() {
 	if c == nil {

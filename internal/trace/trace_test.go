@@ -137,3 +137,33 @@ func TestReportAndReset(t *testing.T) {
 		t.Fatal("reset did not clear flops")
 	}
 }
+
+func TestMerge(t *testing.T) {
+	dst, src := New(), New()
+	dst.AddFlops(KGemm, 10)
+	src.AddFlops(KGemm, 5)
+	src.AddFlops(KLarfb, 7)
+	src.AttributeFlops(PhaseStage1, 12)
+	src.AddPhase(PhaseStage1, time.Second)
+	dst.Merge(src)
+	if dst.Flops(KGemm) != 15 || dst.Flops(KLarfb) != 7 {
+		t.Fatalf("merged flops: gemm=%d geqrt=%d", dst.Flops(KGemm), dst.Flops(KLarfb))
+	}
+	if dst.AttributedFlops(PhaseStage1) != 12 {
+		t.Fatal("attributed flops not merged")
+	}
+	if dst.PhaseTime(PhaseStage1) != time.Second {
+		t.Fatal("phase time not merged")
+	}
+	// src is untouched and still usable.
+	if src.Flops(KGemm) != 5 {
+		t.Fatal("Merge mutated the source")
+	}
+	dst.Merge(nil) // no-op
+	dst.Merge(dst) // self-merge guard
+	if dst.Flops(KGemm) != 15 {
+		t.Fatal("self/nil merge changed totals")
+	}
+	var nilC *Collector
+	nilC.Merge(src) // nil receiver is a no-op
+}

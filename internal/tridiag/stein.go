@@ -85,7 +85,7 @@ func Stein(d, e []float64, w []float64) (*matrix.Dense, error) {
 			if nrm == 0 {
 				// Orthogonalization annihilated the iterate; restart with a
 				// fresh random vector.
-				if restarts++; restarts > 8 {
+				if restarts++; restarts > MaxSteinRestarts {
 					return z, ErrNoConvergence
 				}
 				for i := 0; i < n; i++ {

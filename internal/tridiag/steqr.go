@@ -42,7 +42,7 @@ func steqrWork(d, e []float64, z *matrix.Dense, w *Work) error {
 	copy(ework, e[:n-1])
 	e = ework
 	defer w.putVec(ework)
-	const maxIter = 80
+	maxIter := MaxIterQL
 
 	for l := 0; l < n; l++ {
 		iter := 0

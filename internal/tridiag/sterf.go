@@ -17,7 +17,7 @@ func Sterf(d, e []float64) error {
 	ework := make([]float64, n)
 	copy(ework, e[:n-1])
 	e = ework
-	const maxIter = 80
+	maxIter := MaxIterQL
 	for l := 0; l < n; l++ {
 		iter := 0
 		for {

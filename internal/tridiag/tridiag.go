@@ -29,6 +29,21 @@ const Eps = 0x1p-52
 // pathological matrix rather than an expected runtime condition.
 var ErrNoConvergence = errors.New("tridiag: eigenvalue iteration did not converge")
 
+// MaxIterQL is the per-eigenvalue iteration budget of the implicit QL/QR
+// solvers (Sterf, Steqr and the D&C base case). The default matches EISPACK
+// practice and is far above what any matrix needs; it is a variable rather
+// than a constant so tests can shrink it to force the ErrNoConvergence path
+// deterministically (a diagonal matrix still converges with a budget of 0,
+// so per-problem failure injection is possible even though the knob is
+// package-global).
+var MaxIterQL = 80
+
+// MaxSteinRestarts bounds how many times one inverse-iteration vector may be
+// restarted with a fresh random start after cluster reorthogonalization
+// annihilates it (Stein's ErrNoConvergence trigger). A variable for the same
+// test-seam reason as MaxIterQL.
+var MaxSteinRestarts = 8
+
 // maxAbsBound returns a Gershgorin-style bound on the spectral radius of the
 // tridiagonal matrix (d, e): every eigenvalue lies in [-b, b].
 func maxAbsBound(d, e []float64) float64 {

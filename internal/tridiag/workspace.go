@@ -41,6 +41,27 @@ func NewWork() *Work {
 	}
 }
 
+// WorkspaceBytes reports the pool's retained float storage (for workspace-
+// budget accounting; see work.WorkspaceSized). The D&C matrices dominate;
+// the int/bool merge scratch is ignored.
+func (w *Work) WorkspaceBytes() int64 {
+	if w == nil {
+		return 0
+	}
+	var b int64
+	for _, l := range w.vecs {
+		for _, v := range l {
+			b += int64(cap(v)) * 8
+		}
+	}
+	for _, l := range w.mats {
+		for _, m := range l {
+			b += int64(cap(m.Data)) * 8
+		}
+	}
+	return b
+}
+
 // vec returns a zeroed float buffer of exactly length n.
 func (w *Work) vec(n int) []float64 {
 	if w == nil {

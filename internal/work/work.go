@@ -72,6 +72,11 @@ type Arena struct {
 	values    map[Key]any
 	denses    map[Key]*matrix.Dense
 	bands     map[Key]*matrix.SymBand
+
+	// Pool bookkeeping: the size class of the solve the arena last served
+	// and, while idle under a budgeted pool, its counted footprint.
+	class       int
+	pooledBytes int64
 }
 
 // NewArena returns an empty arena.
@@ -276,31 +281,153 @@ func (s *Slab) Take(n int) []float64 {
 	return out
 }
 
-// Pool is a concurrency-safe pool of Arenas. Get returns a recycled arena
-// when one is idle (its buffers sized by earlier solves) or a fresh one.
+// WorkspaceSized is implemented by opaque values cached on an Arena (via
+// SetValue) that want their retained storage counted by Arena.Bytes. Values
+// that do not implement it are counted as zero — the budget is a bound on
+// the dominant buffers, not an exact heap audit.
+type WorkspaceSized interface {
+	WorkspaceBytes() int64
+}
+
+// Bytes reports the arena's retained workspace footprint: the capacity of
+// every float slot, per-worker buffer and slab, plus whatever cached opaque
+// values report through WorkspaceSized. Dense/band headers alias the float
+// slots and are not double-counted.
+func (a *Arena) Bytes() int64 {
+	if a == nil {
+		return 0
+	}
+	var b int64
+	for _, v := range a.floats {
+		b += int64(cap(v)) * 8
+	}
+	for _, bufs := range a.perWorker {
+		for _, v := range bufs {
+			b += int64(cap(v)) * 8
+		}
+	}
+	for _, s := range a.slabs {
+		b += int64(cap(s.buf)) * 8
+	}
+	for _, v := range a.values {
+		if sz, ok := v.(WorkspaceSized); ok {
+			b += sz.WorkspaceBytes()
+		}
+	}
+	return b
+}
+
+// sizeClass buckets a problem order n for the pool's free lists: arenas are
+// recycled to solves of similar size, so a batch mixing n=64 and n=1024
+// problems does not hand a 24 MB arena to a 32 KB solve (nor grow every
+// pooled arena to the largest size seen). Classes are powers of two.
+func sizeClass(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := 0
+	for (1 << c) < n {
+		c++
+	}
+	return c
+}
+
+// Pool is a concurrency-safe pool of Arenas, size-keyed: Get takes the order
+// of the problem the arena will serve and prefers an arena last used for a
+// similar size (exact class first, then the next larger classes, then any).
+// An optional budget bounds the total bytes retained by idle arenas: a Put
+// that would exceed it drops the arena to the garbage collector instead.
 type Pool struct {
-	p sync.Pool
+	mu       sync.Mutex
+	budget   int64 // 0 = unlimited
+	retained int64 // bytes held by idle arenas (tracked only when budget > 0)
+	buckets  map[int][]*Arena
 }
 
-// NewPool returns an empty pool.
+// NewPool returns an empty pool with no budget.
 func NewPool() *Pool {
-	pl := &Pool{}
-	pl.p.New = func() any { return NewArena() }
-	return pl
+	return &Pool{buckets: make(map[int][]*Arena)}
 }
 
-// Get takes an arena from the pool.
-func (pl *Pool) Get() *Arena {
+// SetBudget bounds the bytes retained by idle arenas (0 = unlimited). It
+// only affects future Puts; arenas already pooled stay.
+func (pl *Pool) SetBudget(bytes int64) {
+	if pl == nil {
+		return
+	}
+	pl.mu.Lock()
+	pl.budget = bytes
+	pl.mu.Unlock()
+}
+
+// Retained reports the bytes currently held by idle arenas. It is tracked
+// only when a budget is set; without one it reports 0.
+func (pl *Pool) Retained() int64 {
+	if pl == nil {
+		return 0
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.retained
+}
+
+// Get takes an arena suitable for an order-n solve from the pool, or returns
+// a fresh one. The class preference is best-effort: any arena works for any
+// size (buffers grow on demand).
+func (pl *Pool) Get(n int) *Arena {
 	if pl == nil {
 		return nil
 	}
-	return pl.p.Get().(*Arena)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	class := sizeClass(n)
+	take := func(c int) *Arena {
+		bucket := pl.buckets[c]
+		if len(bucket) == 0 {
+			return nil
+		}
+		a := bucket[len(bucket)-1]
+		bucket[len(bucket)-1] = nil
+		pl.buckets[c] = bucket[:len(bucket)-1]
+		if pl.budget > 0 {
+			pl.retained -= a.pooledBytes
+		}
+		a.pooledBytes = 0
+		a.class = sizeClass(n)
+		return a
+	}
+	// Exact class, then the next larger ones (no growth needed), then any.
+	for c := class; c <= class+2; c++ {
+		if a := take(c); a != nil {
+			return a
+		}
+	}
+	for c := range pl.buckets {
+		if a := take(c); a != nil {
+			return a
+		}
+	}
+	a := NewArena()
+	a.class = class
+	return a
 }
 
 // Put returns an arena to the pool. The caller must not touch any buffer
-// obtained from it afterwards.
+// obtained from it afterwards. With a budget set, an arena that would push
+// retained bytes past it is dropped instead of pooled.
 func (pl *Pool) Put(a *Arena) {
-	if pl != nil && a != nil {
-		pl.p.Put(a)
+	if pl == nil || a == nil {
+		return
 	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.budget > 0 {
+		b := a.Bytes()
+		if pl.retained+b > pl.budget {
+			return // drop: the GC reclaims it
+		}
+		a.pooledBytes = b
+		pl.retained += b
+	}
+	pl.buckets[a.class] = append(pl.buckets[a.class], a)
 }

@@ -190,19 +190,100 @@ func TestWorkerSlabs(t *testing.T) {
 
 func TestPool(t *testing.T) {
 	p := NewPool()
-	a := p.Get()
+	a := p.Get(64)
 	if a == nil {
 		t.Fatal("pool returned nil arena")
 	}
 	a.Floats("k", 100, false)
 	p.Put(a)
+	if p.Get(64) != a {
+		t.Fatal("same-size Get did not recycle the arena")
+	}
+	p.Put(a)
 	// A nil pool degrades to nil arenas.
 	var np *Pool
-	if np.Get() != nil {
+	if np.Get(64) != nil {
 		t.Fatal("nil pool Get")
 	}
 	np.Put(nil)
 }
+
+func TestPoolSizeClasses(t *testing.T) {
+	p := NewPool()
+	small := p.Get(64)
+	big := p.Get(1024)
+	small.Floats("k", 64*64, false)
+	big.Floats("k", 1024*1024, false)
+	p.Put(small)
+	p.Put(big)
+	// A small request prefers the small arena even though the big one was
+	// pooled more recently.
+	if got := p.Get(64); got != small {
+		t.Fatal("size-keyed Get did not prefer the matching class")
+	}
+	if got := p.Get(1024); got != big {
+		t.Fatal("big arena lost")
+	}
+	// With its class empty, any arena is better than none.
+	p.Put(big)
+	if got := p.Get(64); got != big {
+		t.Fatal("cross-class fallback failed")
+	}
+}
+
+func TestPoolBudget(t *testing.T) {
+	p := NewPool()
+	p.SetBudget(1000 * 8)
+	a := p.Get(8)
+	a.Floats("k", 600, false)
+	b := p.Get(8)
+	b.Floats("k", 600, false)
+	p.Put(a)
+	if got := p.Retained(); got != 600*8 {
+		t.Fatalf("retained = %d, want %d", got, 600*8)
+	}
+	// b would push retained past the budget: dropped, not pooled.
+	p.Put(b)
+	if got := p.Retained(); got != 600*8 {
+		t.Fatalf("over-budget Put was retained: %d bytes", got)
+	}
+	if got := p.Get(8); got != a {
+		t.Fatal("surviving arena not recycled")
+	}
+	if p.Retained() != 0 {
+		t.Fatal("retained not released on Get")
+	}
+}
+
+func TestArenaBytes(t *testing.T) {
+	a := NewArena()
+	if a.Bytes() != 0 {
+		t.Fatal("empty arena has nonzero footprint")
+	}
+	a.Floats("f", 100, false)
+	a.PerWorker("w", 2, 50)
+	a.SlabOf("s", 30)
+	want := int64(100+2*50+30) * 8
+	if got := a.Bytes(); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+	// Opaque values are counted only through WorkspaceSized.
+	a.SetValue("v", 42)
+	if got := a.Bytes(); got != want {
+		t.Fatalf("non-sized value changed footprint: %d", got)
+	}
+	a.SetValue("sized", sizedVal(64))
+	if got := a.Bytes(); got != want+64 {
+		t.Fatalf("WorkspaceSized not counted: %d, want %d", got, want+64)
+	}
+	if (*Arena)(nil).Bytes() != 0 {
+		t.Fatal("nil arena Bytes")
+	}
+}
+
+type sizedVal int64
+
+func (s sizedVal) WorkspaceBytes() int64 { return int64(s) }
 
 func TestTilesAndValue(t *testing.T) {
 	a := NewArena()

@@ -13,3 +13,9 @@ go test -race ./...
 # fused and two-phase paths. Redundant with the full -race sweep above, but
 # kept as a named gate so a future test-pruning pass cannot silently drop it.
 go test -race -run 'TestApplyFused|TestFusedBacktrans|TestSolverCancelDuringBacktrans' ./internal/backtransform ./internal/core .
+
+# The concurrent-batch surface, exercised explicitly under -race: a mixed-size
+# batch sharing one scheduler, with one injected non-convergent problem and one
+# NaN problem (typed, item-local errors; no cross-item poisoning), plus the
+# validation and degenerate-shape bugfix tests.
+go test -race -run 'TestSolveBatch|TestBatchIsolationMixed|TestNotFiniteError|TestNoConvergencePropagation|TestOptionsClamp|TestDegenerateShapes' .

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/work"
 )
 
@@ -41,6 +42,9 @@ type denseHdrs struct {
 // Close is still correct and idempotent). The *Ctx variants accept a
 // context; cancellation abandons the solve mid-pipeline and returns the
 // context's error while the Solver stays usable.
+//
+// For many independent problems, SolveBatch runs them concurrently over the
+// same scheduler and workspace pool; see batch.go.
 type Solver struct {
 	opts Options
 	pool *work.Pool
@@ -51,11 +55,17 @@ type Solver struct {
 }
 
 // NewSolver creates a Solver with the given options (nil → defaults: the
-// two-stage algorithm, divide & conquer, sequential execution).
+// two-stage algorithm, divide & conquer, sequential execution). Out-of-range
+// option values are clamped per the Options field docs rather than causing a
+// panic deep in the scheduler.
 func NewSolver(opts *Options) *Solver {
 	s := &Solver{pool: work.NewPool()}
 	if opts != nil {
 		s.opts = *opts
+	}
+	s.opts.normalize()
+	if s.opts.MemoryBudget > 0 {
+		s.pool.SetBudget(s.opts.MemoryBudget)
 	}
 	if s.opts.Workers > 1 {
 		s.sched = sched.New(s.opts.Workers)
@@ -104,7 +114,8 @@ func (s *Solver) EigValuesCtx(ctx context.Context, a *Matrix) ([]float64, error)
 }
 
 // EigRange computes eigenpairs il through iu (1-based, ascending,
-// inclusive).
+// inclusive). An invalid range (il < 1, iu < il, or iu beyond the matrix
+// order) yields a *RangeError matching ErrInvalidRange.
 func (s *Solver) EigRange(a *Matrix, il, iu int) (*Result, error) {
 	return s.EigRangeCtx(context.Background(), a, il, iu)
 }
@@ -112,7 +123,7 @@ func (s *Solver) EigRange(a *Matrix, il, iu int) (*Result, error) {
 // EigRangeCtx is EigRange with cancellation.
 func (s *Solver) EigRangeCtx(ctx context.Context, a *Matrix, il, iu int) (*Result, error) {
 	if il < 1 || iu < il {
-		return nil, fmt.Errorf("eigen: invalid range [%d, %d]", il, iu)
+		return nil, &RangeError{IL: il, IU: iu, N: rangeN(a)}
 	}
 	return s.solve(ctx, a, true, il, iu, nil)
 }
@@ -125,13 +136,22 @@ func (s *Solver) EigValuesRange(a *Matrix, il, iu int) ([]float64, error) {
 // EigValuesRangeCtx is EigValuesRange with cancellation.
 func (s *Solver) EigValuesRangeCtx(ctx context.Context, a *Matrix, il, iu int) ([]float64, error) {
 	if il < 1 || iu < il {
-		return nil, fmt.Errorf("eigen: invalid range [%d, %d]", il, iu)
+		return nil, &RangeError{IL: il, IU: iu, N: rangeN(a)}
 	}
 	res, err := s.solve(ctx, a, false, il, iu, nil)
 	if err != nil {
 		return nil, err
 	}
 	return res.Values, nil
+}
+
+// rangeN reports the order a range request was made against, or -1 when the
+// matrix is absent or not square (those errors are reported separately).
+func rangeN(a *Matrix) int {
+	if a == nil || a.r != a.c {
+		return -1
+	}
+	return a.r
 }
 
 // EigTo computes all eigenpairs of the n×n matrix a, writing the
@@ -153,24 +173,45 @@ func (s *Solver) EigTo(ctx context.Context, a *Matrix, dst *Matrix) ([]float64, 
 	return res.Values, nil
 }
 
-// solve validates, borrows an arena, and runs the selected pipeline.
+// solve checks liveness and runs the pipeline under the Solver's own
+// scheduler and trace collector.
 func (s *Solver) solve(ctx context.Context, a *Matrix, vectors bool, il, iu int, dst *Matrix) (*Result, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	scheduler := s.sched
+	s.mu.Unlock()
+
+	return s.runSolve(ctx, scheduler, s.opts.Collector, a, dst, vectors, il, iu)
+}
+
+// runSolve validates the input, borrows a size-matched arena, and runs the
+// selected pipeline on the given scheduler (nil → inline execution on the
+// calling goroutine). It is the shared core of the one-at-a-time entry
+// points and of SolveBatch, which supplies per-item schedulers/collectors.
+func (s *Solver) runSolve(ctx context.Context, scheduler *sched.Scheduler, tc *trace.Collector, a, dst *Matrix, vectors bool, il, iu int) (*Result, error) {
 	if a == nil {
 		return nil, fmt.Errorf("eigen: nil matrix")
 	}
 	if a.r != a.c {
 		return nil, fmt.Errorf("eigen: matrix must be square, got %d×%d", a.r, a.c)
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrClosed
+	n := a.r
+	if il != 0 || iu != 0 {
+		if il < 1 || iu > n || il > iu {
+			return nil, &RangeError{IL: il, IU: iu, N: n}
+		}
 	}
-	pool, scheduler := s.pool, s.sched
-	s.mu.Unlock()
+	if !s.opts.SkipFiniteCheck {
+		if err := checkFinite(a.data, max(1, n)); err != nil {
+			return nil, err
+		}
+	}
 
-	ws := pool.Get()
-	defer pool.Put(ws)
+	ws := s.pool.Get(n)
+	defer s.pool.Put(ws)
 
 	// Headers over caller-owned data live on the arena, so steady-state
 	// solves do not allocate them. The arena is private to this solve, which
@@ -194,6 +235,7 @@ func (s *Solver) solve(ctx context.Context, a *Matrix, vectors bool, il, iu int,
 	co.Workers = 0 // the persistent scheduler replaces per-solve workers
 	co.Sched = scheduler
 	co.Arena = ws
+	co.Collector = tc
 	var dstDense *matrix.Dense
 	if dst != nil {
 		dstDense = &hs.dst
@@ -209,6 +251,10 @@ func (s *Solver) solve(ctx context.Context, a *Matrix, vectors bool, il, iu int,
 		cres, err = core.SyevTwoStage(ctx, ad, co)
 	}
 	if err != nil {
+		if errors.Is(err, sched.ErrStopped) {
+			// The shared scheduler was shut down under this solve.
+			return nil, ErrClosed
+		}
 		return nil, err
 	}
 	res := &Result{Values: cres.Values}
