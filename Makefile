@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch
+.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch bench-tridiag
 
 all: check
 
@@ -34,3 +34,10 @@ bench-backtrans:
 # the measured points (with machine context) in BENCH_batch.json.
 bench-batch:
 	$(GO) run ./cmd/eigbench -exp batch -out BENCH_batch.json
+
+# The parallel tridiagonal stage vs its sequential form (D&C and BI), with
+# the bitwise-identity check and trace-attributed sub-phase splits; records
+# the measured points (with machine context) in BENCH_tridiag.json.
+bench-tridiag:
+	$(GO) run ./cmd/eigbench -exp tridiag -out BENCH_tridiag.json
+	$(GO) test -run '^$$' -bench 'BenchmarkStebz' ./internal/tridiag

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/tridiag"
+)
+
+// TridiagPoint is one recorded eig_t-stage measurement, written to
+// BENCH_tridiag.json: the sequential (inline) tridiagonal eigensolver
+// against the scheduler-parallel one on the same problem, with the bitwise
+// identity checked and the stage's work split attributed per sub-phase.
+// NumCPU/Gomaxprocs are recorded because on a single-core host the parallel
+// path can only measure scheduling overhead, never speedup.
+type TridiagPoint struct {
+	N            int     `json:"n"`
+	Method       string  `json:"method"`
+	Workers      int     `json:"workers"`
+	SeqSec       float64 `json:"sequential_sec"`
+	ParSec       float64 `json:"parallel_sec"`
+	Speedup      float64 `json:"speedup"`
+	Identical    bool    `json:"bitwise_identical"`
+	RecurseFlops int64   `json:"recurse_flops"`
+	MergeFlops   int64   `json:"merge_flops"`
+	BisectFlops  int64   `json:"bisect_flops"`
+	SteinFlops   int64   `json:"stein_flops"`
+	NumCPU       int     `json:"num_cpu"`
+	Gomaxprocs   int     `json:"gomaxprocs"`
+}
+
+// tridiagStage times the tridiagonal eigensolvers (D&C and bisection +
+// inverse iteration) sequentially and over a scheduler of the given width,
+// on random tridiagonal matrices of each size. QR is not measured: it
+// accumulates rotations through one matrix and has no parallel path.
+func tridiagStage(sizes []int, workers, reps int) (*bench.Table, []TridiagPoint) {
+	if workers <= 0 {
+		workers = 4
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	rng := rand.New(rand.NewSource(99))
+	table := &bench.Table{
+		Name:    fmt.Sprintf("Parallel eig_t vs sequential (workers=%d, NumCPU=%d)", workers, runtime.NumCPU()),
+		Headers: []string{"n", "method", "seq ms", "par ms", "speedup", "bitwise"},
+	}
+	var points []TridiagPoint
+
+	s := sched.New(workers)
+	defer s.Shutdown()
+	for _, n := range sizes {
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64()
+		}
+		for _, method := range []string{"DC", "BI"} {
+			pt := measureTridiag(s, method, d, e, workers, reps)
+			points = append(points, pt)
+			table.Rows = append(table.Rows, []string{
+				fmt.Sprint(n), method,
+				fmt.Sprintf("%.2f", pt.SeqSec*1e3),
+				fmt.Sprintf("%.2f", pt.ParSec*1e3),
+				fmt.Sprintf("%.2f", pt.Speedup),
+				fmt.Sprint(pt.Identical),
+			})
+		}
+	}
+	return table, points
+}
+
+func measureTridiag(s *sched.Scheduler, method string, d, e []float64, workers, reps int) TridiagPoint {
+	n := len(d)
+	seqSet := tridiag.NewWorkSet(1)
+	parSet := tridiag.NewWorkSet(workers)
+	tc := trace.New()
+
+	// solve runs one full vector solve for the method and returns the
+	// results flattened for the bitwise comparison (pool buffers are
+	// returned before the next repetition).
+	solve := func(set *tridiag.WorkSet, job *sched.Job, tc *trace.Collector) ([]float64, []float64) {
+		switch method {
+		case "DC":
+			vals, q, err := tridiag.StedcSched(d, e, set, job, 0, tc)
+			if err != nil {
+				panic(err)
+			}
+			flatQ := append([]float64(nil), q.Data[:n*n]...)
+			flatV := append([]float64(nil), vals...)
+			set.PutVec(vals)
+			set.PutMat(q)
+			return flatV, flatQ
+		case "BI":
+			w := tridiag.StebzSched(d, e, 1, n, set, job, 0, tc)
+			z, err := tridiag.SteinSched(d, e, w, set, job, 0, tc)
+			if err != nil {
+				panic(err)
+			}
+			flatZ := append([]float64(nil), z.Data[:n*n]...)
+			set.PutMat(z)
+			return w, flatZ
+		}
+		panic("unknown method " + method)
+	}
+
+	time1 := func(set *tridiag.WorkSet, newJob func() *sched.Job, tc *trace.Collector) (float64, []float64, []float64) {
+		solve(set, newJob(), nil) // warm the pools
+		best := math.Inf(1)
+		var vals, vecs []float64
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			vals, vecs = solve(set, newJob(), tc)
+			if sec := time.Since(start).Seconds(); sec < best {
+				best = sec
+			}
+		}
+		return best, vals, vecs
+	}
+
+	seqSec, seqVals, seqVecs := time1(seqSet, func() *sched.Job { return nil }, nil)
+	parSec, parVals, parVecs := time1(parSet, func() *sched.Job { return s.NewJob(nil) }, tc)
+
+	identical := len(seqVals) == len(parVals) && len(seqVecs) == len(parVecs)
+	for i := 0; identical && i < len(seqVals); i++ {
+		identical = math.Float64bits(seqVals[i]) == math.Float64bits(parVals[i])
+	}
+	for i := 0; identical && i < len(seqVecs); i++ {
+		identical = math.Float64bits(seqVecs[i]) == math.Float64bits(parVecs[i])
+	}
+
+	return TridiagPoint{
+		N:            n,
+		Method:       method,
+		Workers:      workers,
+		SeqSec:       seqSec,
+		ParSec:       parSec,
+		Speedup:      seqSec / parSec,
+		Identical:    identical,
+		RecurseFlops: tc.AttributedFlops(trace.PhaseEigTRecurse),
+		MergeFlops:   tc.AttributedFlops(trace.PhaseEigTMerge),
+		BisectFlops:  tc.AttributedFlops(trace.PhaseEigTBisect),
+		SteinFlops:   tc.AttributedFlops(trace.PhaseEigTStein),
+		NumCPU:       runtime.NumCPU(),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
+	}
+}

@@ -79,6 +79,20 @@ type Options struct {
 	// runtime instead of the dynamic scheduler; results are identical, the
 	// choice only affects scheduling overhead.
 	Stage2Static bool
+	// TridiagWorkers restricts the tridiagonal eigensolver stage (eig_t) to
+	// this many workers; 0 inherits the full scheduler width. The stage is
+	// mixed compute/memory-bound — for small matrices the task overhead can
+	// outweigh the parallelism, and a narrower allotment keeps the remaining
+	// cores free for co-scheduled solves. Results are identical at any
+	// setting.
+	TridiagWorkers int
+	// DisableParallelTridiag is the kill-switch for the parallel
+	// tridiagonal stage (on by default when Workers > 1): when set, the D&C
+	// recursion, bisection, and inverse iteration run sequentially on the
+	// calling goroutine. The results are bitwise identical either way; the
+	// switch exists for benchmarking and as an escape hatch, mirroring
+	// DisableFusedBacktrans.
+	DisableParallelTridiag bool
 	// Group is the number of bulge-chasing sweeps aggregated into one
 	// diamond block when applying Q₂; 0 picks the bandwidth.
 	Group int
@@ -138,6 +152,12 @@ func (o *Options) normalize() {
 		// The static stage-2 runtime sizes per-worker state from this value.
 		o.Stage2Workers = sched.MaxWorkers
 	}
+	if o.TridiagWorkers < 0 {
+		o.TridiagWorkers = 0
+	}
+	if o.TridiagWorkers > sched.MaxWorkers {
+		o.TridiagWorkers = sched.MaxWorkers
+	}
 	if o.Group < 0 {
 		o.Group = 0
 	}
@@ -159,6 +179,8 @@ func (o *Options) toCore(vectors bool, il, iu int) core.Options {
 		c.Workers = o.Workers
 		c.Stage2Workers = o.Stage2Workers
 		c.Stage2Static = o.Stage2Static
+		c.TridiagWorkers = o.TridiagWorkers
+		c.DisableParallelTridiag = o.DisableParallelTridiag
 		c.Group = o.Group
 		c.Collector = o.Collector
 		if o.DisableFusedBacktrans {

@@ -95,6 +95,16 @@ type Options struct {
 	// runtime instead of the dynamic scheduler (the paper's hybrid
 	// dynamic/static design); the results are bitwise identical.
 	Stage2Static bool
+	// TridiagWorkers restricts the tridiagonal-eigensolver tasks (D&C
+	// subtrees and merge tiles, bisection chunks, inverse-iteration
+	// clusters) to this many workers. 0 inherits the full scheduler width.
+	TridiagWorkers int
+	// DisableParallelTridiag is the kill-switch for the parallel
+	// tridiagonal stage: when set, eig_t runs sequentially on the calling
+	// goroutine even when a scheduler is available. Both paths are bitwise
+	// identical — this exists for benchmarking and fault isolation, like
+	// FuseOff for the back-transformation.
+	DisableParallelTridiag bool
 	// Method selects the tridiagonal eigensolver.
 	Method Method
 	// Vectors requests eigenvectors.
@@ -232,7 +242,7 @@ func SyevTwoStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, err
 		workers = s.Workers()
 	}
 	if s != nil && o.Stage2Workers > 0 && o.Stage2Workers < workers {
-		stage2Aff = (uint64(1) << uint(o.Stage2Workers)) - 1
+		stage2Aff = sched.AffinityMask(o.Stage2Workers)
 	}
 
 	nb := o.NB
@@ -281,8 +291,9 @@ func SyevTwoStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, err
 		}
 	}
 
-	// Phase 2 of the eigensolver: eigenpairs of T.
-	vals, evecs, err := solveTridiagonal(chase.T, o.Method, o.Vectors, il, iu, ws, o.Dst, tc)
+	// Phase 2 of the eigensolver: eigenpairs of T, parallelized over the
+	// same scheduler as the reduction stages.
+	vals, evecs, err := solveTridiagonal(ctx, chase.T, &o, s, il, iu, ws, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -362,6 +373,15 @@ func SyevOneStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, err
 	tc := o.Collector
 	ws := o.Arena
 
+	// The one-stage reduction itself is sequential, but the tridiagonal
+	// stage still runs over a scheduler when one is available (or Workers
+	// asks for one), matching the two-stage driver.
+	s := o.Sched
+	if s == nil && o.Workers > 1 {
+		s = sched.New(o.Workers)
+		defer s.Shutdown()
+	}
+
 	aw := ws.Dense(work.Stage1Dense, n, n, false)
 	aw.CopyFrom(a)
 	var d, e, tau []float64
@@ -372,7 +392,7 @@ func SyevOneStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, err
 		return nil, err
 	}
 	t := &matrix.Tridiagonal{D: d, E: e}
-	vals, evecs, err := solveTridiagonal(t, o.Method, o.Vectors, il, iu, ws, o.Dst, tc)
+	vals, evecs, err := solveTridiagonal(ctx, t, &o, s, il, iu, ws, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -390,18 +410,22 @@ func SyevOneStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, err
 	return res, nil
 }
 
-// dcWork returns the arena's retained tridiag.Work pool, creating it on
-// first use. Nil arena → nil pool (plain allocation inside the solver).
-func dcWork(ws *work.Arena) *tridiag.Work {
+// tridiagWorks returns the arena's retained tridiag.WorkSet (one scratch
+// pool per scheduler worker plus the sequential one), creating it on first
+// use and growing it to the current pool width. Nil arena → nil set (plain
+// allocation inside the solvers).
+func tridiagWorks(ws *work.Arena, workers int) *tridiag.WorkSet {
 	if ws == nil {
 		return nil
 	}
 	if v := ws.Value(work.TridiagWork); v != nil {
-		return v.(*tridiag.Work)
+		set := v.(*tridiag.WorkSet)
+		set.Grow(workers)
+		return set
 	}
-	tw := tridiag.NewWork()
-	ws.SetValue(work.TridiagWork, tw)
-	return tw
+	set := tridiag.NewWorkSet(workers)
+	ws.SetValue(work.TridiagWork, set)
+	return set
 }
 
 // intoVectors materializes the n×k eigenvector block src into dst when dst
@@ -418,10 +442,31 @@ func intoVectors(dst *matrix.Dense, src *matrix.Dense) *matrix.Dense {
 // solveTridiagonal dispatches to the selected tridiagonal eigensolver and
 // returns the [il, iu] slice of the spectrum (and vectors when requested).
 // The returned slices/matrices are caller-owned copies, never arena-backed.
-func solveTridiagonal(t *matrix.Tridiagonal, m Method, vectors bool, il, iu int, ws *work.Arena, dst *matrix.Dense, tc *trace.Collector) (vals []float64, evecs *matrix.Dense, err error) {
+//
+// With a scheduler (and without the DisableParallelTridiag kill-switch) the
+// stage runs its parallel entry points — concurrent D&C subtrees and tiled
+// merges, chunked bisection, cluster-parallel inverse iteration — on a
+// fresh job; results are bitwise identical to the sequential path at any
+// worker count. Options.TridiagWorkers restricts the stage's tasks to a
+// prefix of the pool, like Stage2Workers does for the bulge chasing.
+func solveTridiagonal(ctx context.Context, t *matrix.Tridiagonal, o *Options, s *sched.Scheduler, il, iu int, ws *work.Arena, tc *trace.Collector) (vals []float64, evecs *matrix.Dense, err error) {
 	n := t.N()
 	k := iu - il + 1
+	es := s
+	if o.DisableParallelTridiag {
+		es = nil
+	}
+	var aff uint64
+	poolW := 1
+	if es != nil {
+		poolW = es.Workers()
+		if o.TridiagWorkers > 0 && o.TridiagWorkers < poolW {
+			aff = sched.AffinityMask(o.TridiagWorkers)
+		}
+	}
+	set := tridiagWorks(ws, poolW)
 	tc.Phase(trace.PhaseEigT, func() {
+		job := phaseJob(es, ctx)
 		// Scratch copies of (d, e): the solvers destroy their inputs.
 		scratch := func() (d, e []float64) {
 			d = ws.Floats(work.TridiagD, n, false)
@@ -430,11 +475,12 @@ func solveTridiagonal(t *matrix.Tridiagonal, m Method, vectors bool, il, iu int,
 			copy(e, t.E)
 			return d, e
 		}
-		if !vectors {
-			switch m {
+		if !o.Vectors {
+			switch o.Method {
 			case MethodBI:
 				d, e := scratch()
-				vals = tridiag.Stebz(d, e, il, iu)
+				vals = tridiag.StebzSched(d, e, il, iu, set, job, aff, tc)
+				err = job.Err()
 			default:
 				d, e := scratch()
 				if err = tridiag.Sterf(d, e); err == nil {
@@ -443,40 +489,49 @@ func solveTridiagonal(t *matrix.Tridiagonal, m Method, vectors bool, il, iu int,
 			}
 			return
 		}
-		switch m {
+		switch o.Method {
 		case MethodDC:
-			tw := dcWork(ws)
 			var dv []float64
 			var q *matrix.Dense
-			dv, q, err = tridiag.StedcWork(t.D, t.E, tw)
+			dv, q, err = tridiag.StedcSched(t.D, t.E, set, job, aff, tc)
 			if err != nil {
 				return
 			}
 			vals = append([]float64(nil), dv[il-1:iu]...)
-			evecs = intoVectors(dst, q.View(0, il-1, n, k))
-			tw.PutVec(dv)
-			tw.PutMat(q)
+			evecs = intoVectors(o.Dst, q.View(0, il-1, n, k))
+			set.PutVec(dv)
+			set.PutMat(q)
 		case MethodBI:
 			d, e := scratch()
-			vals = tridiag.Stebz(d, e, il, iu)
-			evecs, err = tridiag.Stein(t.D, t.E, vals)
-			if err == nil && dst != nil && dst.Rows == n && dst.Cols == k {
-				dst.CopyFrom(evecs)
-				evecs = dst
+			vals = tridiag.StebzSched(d, e, il, iu, set, job, aff, tc)
+			if err = job.Err(); err != nil {
+				return
 			}
+			var z *matrix.Dense
+			z, err = tridiag.SteinSched(t.D, t.E, vals, set, job, aff, tc)
+			if err == nil {
+				evecs = intoVectors(o.Dst, z)
+			}
+			set.PutMat(z)
 		case MethodQR:
 			d, e := scratch()
 			q := ws.Dense(work.VectorStage, n, n, true)
 			for i := 0; i < n; i++ {
 				q.Data[i+i*q.Stride] = 1
 			}
-			if err = tridiag.SteqrWork(d, e, q, dcWork(ws)); err != nil {
+			// QR accumulates rotations through one matrix: inherently
+			// sequential, so it ignores the scheduler.
+			if err = tridiag.SteqrWork(d, e, q, set.Seq()); err != nil {
 				return
 			}
+			tc.AttributeFlops(trace.PhaseEigTRecurse, 6*int64(n)*int64(n)*int64(n))
 			vals = append([]float64(nil), d[il-1:iu]...)
-			evecs = intoVectors(dst, q.View(0, il-1, n, k))
+			evecs = intoVectors(o.Dst, q.View(0, il-1, n, k))
 		default:
-			err = fmt.Errorf("core: unknown method %v", m)
+			err = fmt.Errorf("core: unknown method %v", o.Method)
+		}
+		if err == nil {
+			err = job.Err()
 		}
 	})
 	return vals, evecs, err

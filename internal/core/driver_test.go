@@ -462,3 +462,109 @@ func TestRankDeficientAndSpecialMatrices(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelTridiagBitwiseIdentity pins the eig_t tentpole invariant: the
+// scheduler-parallel tridiagonal stage (D&C task DAG, chunked bisection,
+// cluster-parallel inverse iteration) produces exactly the results of the
+// sequential stage — for every method, at several worker counts, with and
+// without a TridiagWorkers restriction. n exceeds the D&C parallel cutoff
+// so the task DAG genuinely engages.
+func TestParallelTridiagBitwiseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 150
+	a := testmat.RandomSym(rng, n)
+	for _, m := range []Method{MethodDC, MethodBI, MethodQR} {
+		seq := Options{Method: m, Vectors: true, NB: 8, Workers: 4, DisableParallelTridiag: true}
+		want, err := SyevTwoStage(context.Background(), a, seq)
+		if err != nil {
+			t.Fatalf("%v sequential: %v", m, err)
+		}
+		for _, workers := range []int{2, 4} {
+			for _, tw := range []int{0, 1, 3} {
+				par := Options{Method: m, Vectors: true, NB: 8, Workers: workers, TridiagWorkers: tw}
+				got, err := SyevTwoStage(context.Background(), a, par)
+				if err != nil {
+					t.Fatalf("%v workers=%d tridiagWorkers=%d: %v", m, workers, tw, err)
+				}
+				for i := range want.Values {
+					if want.Values[i] != got.Values[i] {
+						t.Fatalf("%v workers=%d tridiagWorkers=%d: eigenvalue %d differs", m, workers, tw, i)
+					}
+				}
+				if !got.Vectors.Equalish(want.Vectors, 0) {
+					t.Fatalf("%v workers=%d tridiagWorkers=%d: vectors differ bitwise from sequential eig_t", m, workers, tw)
+				}
+			}
+		}
+		checkEigen(t, "parallel eig_t "+m.String(), a, want, nil)
+	}
+}
+
+// TestParallelTridiagOneStage: the one-stage driver now routes eig_t over a
+// scheduler too; its results must not depend on the worker count either.
+func TestParallelTridiagOneStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 140
+	a := testmat.RandomSym(rng, n)
+	want, err := SyevOneStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SyevOneStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Values {
+		if want.Values[i] != got.Values[i] {
+			t.Fatalf("eigenvalue %d differs", i)
+		}
+	}
+	if !got.Vectors.Equalish(want.Vectors, 0) {
+		t.Fatal("one-stage parallel eig_t vectors differ bitwise from sequential")
+	}
+}
+
+// TestParallelTridiagSubset: the BI subset path (bisection chunks + inverse
+// iteration clusters on a thin range) under the scheduler.
+func TestParallelTridiagSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 130
+	a := testmat.RandomSym(rng, n)
+	base := Options{Method: MethodBI, Vectors: true, NB: 8, IL: 11, IU: 73}
+	seq := base
+	seq.Workers, seq.DisableParallelTridiag = 4, true
+	want, err := SyevTwoStage(context.Background(), a, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Workers = 4
+	got, err := SyevTwoStage(context.Background(), a, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Values {
+		if want.Values[i] != got.Values[i] {
+			t.Fatalf("eigenvalue %d differs", i)
+		}
+	}
+	if !got.Vectors.Equalish(want.Vectors, 0) {
+		t.Fatal("subset parallel eig_t vectors differ bitwise from sequential")
+	}
+	checkEigen(t, "parallel eig_t subset", a, got, nil)
+}
+
+// TestParallelTridiagAttribution: a parallel DC solve must attribute eig_t
+// sub-phase flops (side channel — never part of TotalFlops).
+func TestParallelTridiagAttribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := testmat.RandomSym(rng, 150)
+	tc := trace.New()
+	_, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8, Workers: 2, Collector: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.AttributedFlops(trace.PhaseEigTRecurse) <= 0 || tc.AttributedFlops(trace.PhaseEigTMerge) <= 0 {
+		t.Fatal("parallel DC solve did not attribute eig_t sub-phase flops")
+	}
+}

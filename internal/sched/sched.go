@@ -142,6 +142,20 @@ func Deferred() Option { return func(s *Scheduler) { s.started = false } }
 // acceptable only for internal callers that pass validated values.
 const MaxWorkers = 64
 
+// AffinityMask returns the Task.Affinity mask selecting the first w workers
+// (the paper's core-restriction shape, shared by the bulge-chasing and
+// tridiagonal stages). w is clamped to [1, MaxWorkers]; w = MaxWorkers
+// selects every worker explicitly.
+func AffinityMask(w int) uint64 {
+	if w < 1 {
+		w = 1
+	}
+	if w >= MaxWorkers {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
 // New creates a dynamic scheduler with the given number of workers. Workers
 // are goroutines; on a machine with fewer cores they time-share, which
 // preserves the dependence semantics (and lets the scheduler logic be tested

@@ -43,6 +43,17 @@ const (
 	// The Q₂/Q₁ split inside it is recorded via AttributeFlops under the
 	// legacy phase names, so the Figure 1 breakdown stays reconstructible.
 	PhaseBacktransFused = "backtrans_fused"
+
+	// Attribution-only sub-phases of the tridiagonal stage. eig_t runs
+	// under one wall-clock phase; the solvers credit coarse flop estimates
+	// of their kernels here via AttributeFlops (the same side-channel the
+	// fused back-transformation uses), so the D&C recurse/merge and
+	// bisection/inverse-iteration shares of the phase stay reconstructible
+	// even when the stage executes as one task DAG.
+	PhaseEigTRecurse = "eig_t_recurse" // QR base cases / sequential subtrees
+	PhaseEigTMerge   = "eig_t_merge"   // secular solves + rank-one update GEMM
+	PhaseEigTBisect  = "eig_t_bisect"  // Sturm-count bisection (Stebz)
+	PhaseEigTStein   = "eig_t_stein"   // inverse iteration + cluster MGS
 )
 
 // Collector accumulates flops per kernel class and durations per phase. The

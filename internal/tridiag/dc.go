@@ -179,6 +179,26 @@ func dcDecoupled(l1 []float64, q1 *matrix.Dense, l2 []float64, q2 *matrix.Dense,
 	return vals, q
 }
 
+// dcMergeState carries a rank-one merge across the GEMM split: dcMergePre
+// computes everything up to (and excluding) the Level-3 eigenvector update,
+// dcMergeGemm applies the update to a range of secular columns, and
+// dcMergePost scatters them into their sorted output positions. The
+// sequential dcMerge below runs the three steps back to back; the parallel
+// D&C DAG runs dcMergeGemm as independent per-column-block tasks between
+// the pre and post tasks. The split is arithmetic-free: the only float
+// computation between pre and post is the GEMM itself, and q·S columns are
+// computed independently per column, so any column partition produces
+// bitwise identical results.
+type dcMergeState struct {
+	n, k int
+	qsub *matrix.Dense // survivor basis columns (GEMM left factor)
+	s    *matrix.Dense // secular eigenvector matrix (GEMM right factor)
+	qsec *matrix.Dense // GEMM destination
+	qout *matrix.Dense // output basis; deflated columns already in place
+	vals []float64     // sorted output eigenvalues, complete after pre
+	pos  []int         // output column of secular column j (len k, pooled)
+}
+
 // dcMerge solves the rank-one-updated diagonal eigenproblem
 // M = diag(dvals) + rho·z·zᵀ (rho > 0) given the accumulated basis q
 // (columns correspond to entries of dvals), performing deflation, the
@@ -186,6 +206,17 @@ func dcDecoupled(l1 []float64, q1 *matrix.Dense, l2 []float64, q2 *matrix.Dense,
 // update. It returns sorted eigenvalues and the updated basis, and consumes
 // (recycles) dvals, z and q.
 func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense, w *Work) ([]float64, *matrix.Dense, error) {
+	st := dcMergePre(dvals, z, rho, q, w)
+	dcMergeGemm(&st, 0, st.k)
+	vals, qout := dcMergePost(&st, w)
+	return vals, qout, nil
+}
+
+// dcMergePre performs the merge through deflation, the secular solves, the
+// Löwner rebuild, assembly of the GEMM factors, and output ordering (sorted
+// eigenvalues, deflated columns copied into place, secular column placement
+// recorded in pos). It consumes (recycles) dvals, z and q.
+func dcMergePre(dvals, z []float64, rho float64, q *matrix.Dense, w *Work) dcMergeState {
 	n := len(dvals)
 
 	// Sort by dvals; gather z and the columns of q in permuted order.
@@ -272,7 +303,7 @@ func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense, w *Work) ([]float
 		}
 	}
 
-	var qsec *matrix.Dense
+	st := dcMergeState{n: n, k: k}
 	if k > 0 {
 		dsec := w.vec(k)
 		zsec := w.vec(k)
@@ -318,14 +349,13 @@ func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense, w *Work) ([]float
 			nrm := blas.Dnrm2(k, col, 1)
 			blas.Dscal(k, 1/nrm, col, 1)
 		}
-		// Level-3 update: Qsec = Qp[:, sidx] · S.
+		// Assemble the Level-3 update factors; the GEMM itself
+		// (Qsec = Qp[:, sidx] · S) is dcMergeGemm's job.
 		qsub := w.mat(n, k)
 		for j, i := range sidx {
 			copy(qsub.Data[j*qsub.Stride:j*qsub.Stride+n], qp.Data[i*qp.Stride:i*qp.Stride+n])
 		}
-		qsec = w.mat(n, k)
-		blas.Dgemm(blas.NoTrans, blas.NoTrans, n, k, k, 1,
-			qsub.Data, qsub.Stride, s.Data, s.Stride, 0, qsec.Data, qsec.Stride)
+		st.qsub, st.s, st.qsec = qsub, s, w.mat(n, k)
 		for j := 0; j < k; j++ {
 			outs = append(outs, dcOut{val: dsec[bases[j]] + mus[j], secIdx: j})
 		}
@@ -333,25 +363,60 @@ func dcMerge(dvals, z []float64, rho float64, q *matrix.Dense, w *Work) ([]float
 		w.putVec(zsec)
 		w.putVec(mus)
 		w.putVec(zhat)
-		w.putMat(s)
-		w.putMat(qsub)
 	}
 
+	// Output ordering is fully determined here: the secular eigenvalues are
+	// known before their vectors, so deflated columns can be placed now and
+	// each secular column's destination recorded for dcMergePost.
 	w.sortOuts(outs)
-	vals := w.vec(n)
-	qout := w.mat(n, n)
+	st.vals = w.vec(n)
+	st.qout = w.mat(n, n)
+	st.pos = w.intVec(k)
 	for j, oc := range outs {
-		vals[j] = oc.val
-		dst := qout.Data[j*qout.Stride : j*qout.Stride+n]
+		st.vals[j] = oc.val
 		if oc.secIdx >= 0 {
-			copy(dst, qsec.Data[oc.secIdx*qsec.Stride:oc.secIdx*qsec.Stride+n])
+			st.pos[oc.secIdx] = j
 		} else {
-			copy(dst, qp.Data[oc.defIdx*qp.Stride:oc.defIdx*qp.Stride+n])
+			copy(st.qout.Data[j*st.qout.Stride:j*st.qout.Stride+n],
+				qp.Data[oc.defIdx*qp.Stride:oc.defIdx*qp.Stride+n])
 		}
 	}
-	w.putMat(qsec)
 	w.putMat(qp)
 	w.putVec(ds)
 	w.putVec(zs)
-	return vals, qout, nil
+	return st
+}
+
+// dcMergeGemm computes secular columns [j0, j1) of the rank-one update:
+// Qsec[:, j0:j1] = Qsub · S[:, j0:j1]. Distinct column ranges touch
+// disjoint output storage and each output column's accumulation order is
+// internal to the column, so tiling this call is bitwise neutral.
+func dcMergeGemm(st *dcMergeState, j0, j1 int) {
+	if st.k == 0 || j0 >= j1 {
+		return
+	}
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, st.n, j1-j0, st.k, 1,
+		st.qsub.Data, st.qsub.Stride,
+		st.s.Data[j0*st.s.Stride:], st.s.Stride,
+		0, st.qsec.Data[j0*st.qsec.Stride:], st.qsec.Stride)
+}
+
+// dcMergePost scatters the computed secular columns into their sorted
+// output positions and recycles the merge factors, completing the merge.
+func dcMergePost(st *dcMergeState, w *Work) ([]float64, *matrix.Dense) {
+	n := st.n
+	for j := 0; j < st.k; j++ {
+		p := st.pos[j]
+		copy(st.qout.Data[p*st.qout.Stride:p*st.qout.Stride+n],
+			st.qsec.Data[j*st.qsec.Stride:j*st.qsec.Stride+n])
+	}
+	if st.k > 0 {
+		w.putMat(st.qsec)
+		w.putMat(st.qsub)
+		w.putMat(st.s)
+	}
+	w.putIntVec(st.pos)
+	vals, qout := st.vals, st.qout
+	*st = dcMergeState{}
+	return vals, qout
 }

@@ -1,0 +1,536 @@
+// Scheduler-parallel entry points of the tridiagonal eigensolvers. Each
+// *Sched function runs the same kernel bodies as its sequential counterpart
+// and is bitwise identical to it at any worker count:
+//
+//   - StedcSched executes Cuppen's recursion as a flat task DAG: subtrees
+//     below a cutoff are one sequential task each, and every rank-one merge
+//     above it splits into a pre task (deflation, secular solves, Löwner
+//     rebuild, output ordering), per-column-block GEMM tile tasks, and a
+//     post task that scatters the secular columns. Determinism: the tree
+//     shape and the rank-one tears depend only on the problem; tile widths
+//     depend only on the node size; distinct tasks write disjoint outputs;
+//     and the merge GEMM computes each output column independently, so any
+//     column partition is bitwise neutral (pinned by tests against the
+//     plain recursive StedcWork).
+//
+//   - StebzSched partitions the index range into fixed-width chunks; each
+//     chunk refines its eigenvalues with the shared-Sturm-count bracket
+//     splitting of stebzInto, whose per-eigenvalue midpoint sequence is
+//     independent of the chunking.
+//
+//   - SteinSched runs one task per reorthogonalization cluster; clusters
+//     are independent by construction (disjoint output columns, cluster-
+//     local MGS and PRNG seed) and the within-cluster iteration stays
+//     sequential.
+//
+// Task bodies draw scratch from per-worker Work pools (WorkSet), so the
+// parallel paths preserve the allocation-free steady state of the pooled
+// sequential solvers.
+package tridiag
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// DCParCutoff is the subtree size at or below which the parallel D&C runs
+// the whole subtree as one sequential task (values below dcBaseSize are
+// treated as dcBaseSize). It tunes task granularity only: the recursion
+// tree — and therefore every floating-point operation — is unchanged, so
+// any cutoff produces bitwise identical results.
+var DCParCutoff = 64
+
+// dcTileCols is the secular-update GEMM tile width of the parallel merge.
+// It is a function of nothing — in particular not of the worker count —
+// so the column partition (and the results) never depend on parallelism.
+const dcTileCols = 64
+
+// errLatch is the shared failure flag of a task DAG: the first error wins,
+// later tasks observe failed() and skip their bodies.
+type errLatch struct {
+	flag atomic.Bool
+	mu   sync.Mutex
+	err  error
+}
+
+func (l *errLatch) fail(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+		l.flag.Store(true)
+	}
+	l.mu.Unlock()
+}
+
+func (l *errLatch) failed() bool { return l.flag.Load() }
+
+func (l *errLatch) get() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+func (l *errLatch) reset() {
+	l.mu.Lock()
+	l.err = nil
+	l.flag.Store(false)
+	l.mu.Unlock()
+}
+
+// dcNode is one node of the explicit recursion tree built above the cutoff.
+// Leaves (left < 0) cover a whole subtree and run dcRecurse sequentially;
+// internal nodes are decoupled (rho == 0) or rank-one merges.
+type dcNode struct {
+	lo, hi      int // half-open index range in (dd, ee)
+	left, right int // child node indices; -1 at leaves
+	depth       int
+	rho         float64 // |e[mid-1]| of a rank-one tear, 0 if decoupled
+	theta       float64 // sign(e[mid-1])
+
+	vals []float64     // result eigenvalues (pool-owned)
+	q    *matrix.Dense // result basis (pool-owned)
+	st   dcMergeState  // rank-one merge state, live between pre and post
+}
+
+// dcRun is the per-solve state of the D&C DAG; it is retained inside the
+// WorkSet so steady-state solves build the tree with zero allocations on
+// the inline path.
+type dcRun struct {
+	ws     *WorkSet
+	job    *sched.Job
+	tc     *trace.Collector
+	aff    uint64
+	dd, ee []float64
+	nodes  []dcNode
+	latch  errLatch
+}
+
+func (r *dcRun) reset(ws *WorkSet, job *sched.Job, aff uint64, tc *trace.Collector) {
+	r.ws, r.job, r.tc, r.aff = ws, job, tc, aff
+	r.dd, r.ee = nil, nil
+	r.nodes = r.nodes[:0]
+	r.latch.reset()
+}
+
+// build constructs the tree over dd[lo:hi] and applies the rank-one tears of
+// every above-cutoff node in pre-order — exactly the order the sequential
+// recursion subtracts them, including when an ancestor tear and a deeper
+// tear hit the same entry — so the leaf tasks see bitwise identical
+// subproblems. Returns the node index.
+func (r *dcRun) build(lo, hi, depth, cutoff int) int {
+	i := len(r.nodes)
+	r.nodes = append(r.nodes, dcNode{lo: lo, hi: hi, depth: depth, left: -1, right: -1})
+	if hi-lo <= cutoff {
+		return i
+	}
+	m := lo + (hi-lo)/2
+	rho := r.ee[m-1]
+	if rho != 0 {
+		rhoAbs := math.Abs(rho)
+		theta := 1.0
+		if rho < 0 {
+			theta = -1
+		}
+		// Rank-one tear (see dcRecurse): T = diag(T1', T2') + |rho|·u·uᵀ.
+		r.dd[m-1] -= rhoAbs
+		r.dd[m] -= rhoAbs
+		r.nodes[i].rho, r.nodes[i].theta = rhoAbs, theta
+	}
+	l := r.build(lo, m, depth+1, cutoff)
+	rt := r.build(m, hi, depth+1, cutoff)
+	r.nodes[i].left, r.nodes[i].right = l, rt
+	return i
+}
+
+// Resource IDs: node i's result is resource i; a rank-one node's merge
+// state is resource len(nodes)+i. Tile tasks read the merge state; the post
+// task read-writes it, which orders it after every tile (write-after-read).
+func (r *dcRun) resNode(i int) int  { return i }
+func (r *dcRun) resMerge(i int) int { return len(r.nodes) + i }
+
+// leafBody solves a whole subtree sequentially with the plain recursion.
+func (r *dcRun) leafBody(i int, wk *Work) {
+	if r.latch.failed() {
+		return
+	}
+	nd := &r.nodes[i]
+	d := r.dd[nd.lo:nd.hi]
+	e := r.ee[nd.lo : nd.hi-1]
+	vals, q, err := dcRecurse(d, e, wk)
+	if err != nil {
+		r.latch.fail(err)
+		return
+	}
+	nd.vals, nd.q = vals, q
+	r.tc.AttributeFlops(trace.PhaseEigTRecurse, dcRecurseFlops(nd.hi-nd.lo))
+}
+
+// decoupledBody combines two children across an exact-zero coupling.
+func (r *dcRun) decoupledBody(i int, wk *Work) {
+	if r.latch.failed() {
+		return
+	}
+	nd := &r.nodes[i]
+	l, rt := &r.nodes[nd.left], &r.nodes[nd.right]
+	vals, q := dcDecoupled(l.vals, l.q, rt.vals, rt.q, wk)
+	recycleHalf(l.vals, r.dd[l.lo:], wk)
+	recycleHalf(rt.vals, r.dd[rt.lo:], wk)
+	wk.putMat(l.q)
+	wk.putMat(rt.q)
+	l.vals, l.q, rt.vals, rt.q = nil, nil, nil, nil
+	nd.vals, nd.q = vals, q
+}
+
+// preBody combines the children of a rank-one node (the z vector, merged
+// eigenvalues, block-diagonal basis — the same assembly dcRecurse performs)
+// and runs dcMergePre.
+func (r *dcRun) preBody(i int, wk *Work) {
+	if r.latch.failed() {
+		return
+	}
+	nd := &r.nodes[i]
+	l, rt := &r.nodes[nd.left], &r.nodes[nd.right]
+	n := nd.hi - nd.lo
+	m := l.hi - l.lo
+	// z = [last row of Q1 ; theta · first row of Q2].
+	z := wk.vec(n)
+	for j := 0; j < m; j++ {
+		z[j] = l.q.At(m-1, j)
+	}
+	for j := 0; j < n-m; j++ {
+		z[m+j] = nd.theta * rt.q.At(0, j)
+	}
+	dvals := wk.vec(n)
+	copy(dvals, l.vals)
+	copy(dvals[m:], rt.vals)
+	// Block-diagonal accumulated basis.
+	q := wk.mat(n, n)
+	for j := 0; j < m; j++ {
+		copy(q.Data[j*q.Stride:j*q.Stride+m], l.q.Data[j*l.q.Stride:j*l.q.Stride+m])
+	}
+	for j := 0; j < n-m; j++ {
+		copy(q.Data[(m+j)*q.Stride+m:(m+j)*q.Stride+n], rt.q.Data[j*rt.q.Stride:j*rt.q.Stride+n-m])
+	}
+	recycleHalf(l.vals, r.dd[l.lo:], wk)
+	recycleHalf(rt.vals, r.dd[rt.lo:], wk)
+	wk.putMat(l.q)
+	wk.putMat(rt.q)
+	l.vals, l.q, rt.vals, rt.q = nil, nil, nil, nil
+	nd.st = dcMergePre(dvals, z, nd.rho, q, wk)
+	r.tc.AttributeFlops(trace.PhaseEigTMerge, dcSecularFlops(nd.st.k))
+}
+
+// tileBody computes one column block of the merge GEMM. Block t covers
+// secular columns [t·dcTileCols, (t+1)·dcTileCols) ∩ [0, k); blocks beyond
+// the (deflation-dependent) k are no-ops, so the task count can be fixed at
+// submission time from the node size alone.
+func (r *dcRun) tileBody(i, t int) {
+	if r.latch.failed() {
+		return
+	}
+	st := &r.nodes[i].st
+	j0 := t * dcTileCols
+	j1 := min(j0+dcTileCols, st.k)
+	if j0 >= j1 {
+		return
+	}
+	dcMergeGemm(st, j0, j1)
+	r.tc.AttributeFlops(trace.PhaseEigTMerge, 2*int64(st.n)*int64(j1-j0)*int64(st.k))
+}
+
+// postBody scatters the secular columns and finishes the node.
+func (r *dcRun) postBody(i int, wk *Work) {
+	if r.latch.failed() {
+		return
+	}
+	nd := &r.nodes[i]
+	nd.vals, nd.q = dcMergePost(&nd.st, wk)
+}
+
+// tileCount is the fixed number of GEMM tile tasks of a node of size n
+// (covering the worst case k = n; see tileBody).
+func tileCount(n int) int { return (n + dcTileCols - 1) / dcTileCols }
+
+// submitNode submits the subtree rooted at node i in post-order. The DAG is
+// flat: every task is submitted up front from the calling goroutine and
+// ordered purely by resource dependences, so no task ever blocks on another
+// from inside a worker (which would deadlock the pool).
+func (r *dcRun) submitNode(i int) {
+	nd := &r.nodes[i]
+	if nd.left < 0 {
+		r.job.Submit(sched.Task{
+			Name:     "dc.leaf",
+			Priority: nd.depth,
+			Affinity: r.aff,
+			Deps:     []sched.Dep{sched.W(r.resNode(i))},
+			Run:      func(worker int) { r.leafBody(i, r.ws.Worker(worker)) },
+		})
+		return
+	}
+	r.submitNode(nd.left)
+	r.submitNode(nd.right)
+	ldep := sched.R(r.resNode(nd.left))
+	rdep := sched.R(r.resNode(nd.right))
+	if nd.rho == 0 {
+		r.job.Submit(sched.Task{
+			Name:     "dc.decoupled",
+			Priority: nd.depth,
+			Affinity: r.aff,
+			Deps:     []sched.Dep{ldep, rdep, sched.W(r.resNode(i))},
+			Run:      func(worker int) { r.decoupledBody(i, r.ws.Worker(worker)) },
+		})
+		return
+	}
+	r.job.Submit(sched.Task{
+		Name:     "dc.merge.pre",
+		Priority: nd.depth,
+		Affinity: r.aff,
+		Deps:     []sched.Dep{ldep, rdep, sched.W(r.resMerge(i))},
+		Run:      func(worker int) { r.preBody(i, r.ws.Worker(worker)) },
+	})
+	for t := 0; t < tileCount(nd.hi-nd.lo); t++ {
+		r.job.Submit(sched.Task{
+			Name:     "dc.merge.gemm",
+			Priority: nd.depth,
+			Affinity: r.aff,
+			Deps:     []sched.Dep{sched.R(r.resMerge(i))},
+			Run:      func(worker int) { r.tileBody(i, t) },
+		})
+	}
+	r.job.Submit(sched.Task{
+		Name:     "dc.merge.post",
+		Priority: nd.depth,
+		Affinity: r.aff,
+		Deps:     []sched.Dep{sched.RW(r.resMerge(i)), sched.W(r.resNode(i))},
+		Run:      func(worker int) { r.postBody(i, r.ws.Worker(worker)) },
+	})
+}
+
+// runInline executes the same bodies in dependence order on the calling
+// goroutine, checking cancellation between bodies. This closure-free path
+// keeps sequential solves allocation-free (the Submit path allocates a task
+// and deps per node, which is fine on a worker pool but would break the
+// steady-state allocation gate of sequential Solver reuse).
+func (r *dcRun) runInline(i int) {
+	if r.job.Canceled() || r.latch.failed() {
+		return
+	}
+	nd := &r.nodes[i]
+	if nd.left < 0 {
+		r.leafBody(i, r.ws.Seq())
+		return
+	}
+	r.runInline(nd.left)
+	r.runInline(nd.right)
+	if r.job.Canceled() || r.latch.failed() {
+		return
+	}
+	wk := r.ws.Seq()
+	if nd.rho == 0 {
+		r.decoupledBody(i, wk)
+		return
+	}
+	r.preBody(i, wk)
+	for t := 0; t < tileCount(nd.hi-nd.lo); t++ {
+		if r.job.Canceled() {
+			return
+		}
+		r.tileBody(i, t)
+	}
+	r.postBody(i, wk)
+}
+
+// dcRecurseFlops and dcSecularFlops are the coarse attribution models of
+// the eig_t sub-phases (bookkeeping only — the kernels count real flops by
+// class): a sequential subtree is bounded by QR-style 6n³, a merge's
+// secular solves + Löwner rebuild + eigenvector-matrix build cost O(k²)
+// with a constant dominated by the ~60-iteration root bisections.
+func dcRecurseFlops(n int) int64 {
+	nn := int64(n)
+	return 6 * nn * nn * nn
+}
+
+func dcSecularFlops(k int) int64 {
+	kk := int64(k)
+	return 250 * kk * kk
+}
+
+// StedcSched is StedcWork executing over a scheduler job: the recursion's
+// independent halves run as concurrent tasks down to DCParCutoff and every
+// larger rank-one merge tiles its eigenvector-update GEMM into per-column-
+// block tasks (see the package comment of this file for the determinism
+// argument). With an inline (or nil) job the same bodies run sequentially
+// on the calling goroutine, so there is exactly one code path to trust.
+//
+// Results are bitwise identical to StedcWork at any worker count. The
+// returned slice and matrix are pool-owned (hand back via ws.PutVec /
+// ws.PutMat); on error — including cancellation of the job — buffers held
+// by unfinished nodes are abandoned to the garbage collector, which keeps
+// the pools consistent. aff restricts the tasks' workers (0 = all); tc
+// receives eig_t sub-phase flop attribution and may be nil.
+func StedcSched(d, e []float64, ws *WorkSet, job *sched.Job, aff uint64, tc *trace.Collector) ([]float64, *matrix.Dense, error) {
+	checkTE(d, e)
+	if ws == nil {
+		ws = NewWorkSet(job.Workers())
+	}
+	ws.Grow(job.Workers())
+	n := len(d)
+	cutoff := max(DCParCutoff, dcBaseSize)
+	if n <= cutoff {
+		// The whole problem is one leaf: identical to the sequential solver.
+		if job.Canceled() {
+			return nil, nil, job.Err()
+		}
+		vals, q, err := StedcWork(d, e, ws.Seq())
+		if err == nil {
+			tc.AttributeFlops(trace.PhaseEigTRecurse, dcRecurseFlops(n))
+		}
+		return vals, q, err
+	}
+	seq := ws.Seq()
+	r := &ws.run
+	r.reset(ws, job, aff, tc)
+	r.dd = seq.vec(n)
+	copy(r.dd, d)
+	r.ee = seq.vec(n - 1)
+	copy(r.ee, e[:n-1])
+	root := r.build(0, n, 0, cutoff)
+
+	var err error
+	if job.Parallel() {
+		r.submitNode(root)
+		err = job.Wait()
+	} else {
+		r.runInline(root)
+		err = job.Err()
+	}
+	if err == nil {
+		err = r.latch.get()
+	}
+	seq.putVec(r.dd)
+	seq.putVec(r.ee)
+	r.dd, r.ee = nil, nil
+	if err != nil {
+		return nil, nil, err
+	}
+	rn := &r.nodes[root]
+	out := seq.vec(n)
+	copy(out, rn.vals)
+	seq.putVec(rn.vals)
+	q := rn.q
+	rn.vals, rn.q = nil, nil
+	return out, q, nil
+}
+
+// stebzChunkSize is the fixed index-chunk width of the parallel bisection;
+// like dcTileCols it depends only on the problem, never on the workers.
+const stebzChunkSize = 32
+
+// StebzSched is Stebz over a scheduler job: the index range il..iu is
+// partitioned into fixed contiguous chunks solved concurrently, each chunk
+// sharing Sturm counts across its eigenvalues via the bracket-splitting
+// stebzInto. Since every eigenvalue's refinement path is independent of the
+// chunking, the result is bitwise identical to the sequential Stebz at any
+// worker count. The returned slice is freshly allocated (caller-owned). On
+// cancellation the unprocessed entries are zero — check job.Err().
+func StebzSched(d, e []float64, il, iu int, ws *WorkSet, job *sched.Job, aff uint64, tc *trace.Collector) []float64 {
+	n := len(d)
+	checkTE(d, e)
+	if n == 0 {
+		return nil
+	}
+	if il < 1 || iu > n || il > iu {
+		panic("tridiag: Stebz index range out of bounds")
+	}
+	ws.Grow(job.Workers())
+	out := make([]float64, iu-il+1)
+	attr := func(sturmCalls int) {
+		tc.AttributeFlops(trace.PhaseEigTBisect, int64(sturmCalls)*4*int64(n))
+	}
+	if !job.Parallel() {
+		wk := ws.Seq()
+		for a := il; a <= iu; a += stebzChunkSize {
+			if job.Canceled() {
+				break
+			}
+			attr(wk.stebzInto(d, e, a, min(a+stebzChunkSize-1, iu), out, il))
+		}
+		return out
+	}
+	for a := il; a <= iu; a += stebzChunkSize {
+		a, b := a, min(a+stebzChunkSize-1, iu)
+		job.Submit(sched.Task{
+			Name:     "stebz.chunk",
+			Affinity: aff,
+			Run: func(worker int) {
+				attr(ws.Worker(worker).stebzInto(d, e, a, b, out, il))
+			},
+		})
+	}
+	job.Wait()
+	return out
+}
+
+// SteinSched is SteinWork over a scheduler job: one task per
+// reorthogonalization cluster (the independent unit of inverse iteration —
+// disjoint output columns, cluster-local MGS and PRNG stream), bitwise
+// identical to the sequential loop at any worker count. The returned matrix
+// is pool-owned (hand back via ws.PutMat). A cluster that fails to converge
+// latches ErrNoConvergence; remaining clusters still complete.
+func SteinSched(d, e []float64, w []float64, ws *WorkSet, job *sched.Job, aff uint64, tc *trace.Collector) (*matrix.Dense, error) {
+	n := len(d)
+	checkTE(d, e)
+	if ws == nil {
+		ws = NewWorkSet(job.Workers())
+	}
+	ws.Grow(job.Workers())
+	k := len(w)
+	z := ws.Seq().mat(n, k)
+	if n == 0 || k == 0 {
+		return z, nil
+	}
+	if n == 1 {
+		z.Set(0, 0, 1)
+		return z, nil
+	}
+	ortol, eps3 := steinScales(d, e)
+	var latch errLatch
+	cluster := func(cs, ce int, wk *Work) {
+		if latch.failed() {
+			return
+		}
+		if err := steinCluster(d, e, w, z, cs, ce, eps3, wk); err != nil {
+			latch.fail(err)
+			return
+		}
+		tc.AttributeFlops(trace.PhaseEigTStein, steinClusterFlops(n, cs, ce))
+	}
+	if !job.Parallel() {
+		for cs := 0; cs < k; {
+			ce := steinClusterEnd(w, cs, ortol)
+			if job.Canceled() {
+				break
+			}
+			cluster(cs, ce, ws.Seq())
+			cs = ce
+		}
+	} else {
+		for cs := 0; cs < k; {
+			ce := steinClusterEnd(w, cs, ortol)
+			cs0, ce0 := cs, ce
+			job.Submit(sched.Task{
+				Name:     "stein.cluster",
+				Affinity: aff,
+				Run:      func(worker int) { cluster(cs0, ce0, ws.Worker(worker)) },
+			})
+			cs = ce
+		}
+		job.Wait()
+	}
+	return z, latch.get()
+}

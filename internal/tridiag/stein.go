@@ -14,10 +14,19 @@ import (
 // It returns an n×k matrix whose columns are the eigenvectors in the order
 // of w.
 func Stein(d, e []float64, w []float64) (*matrix.Dense, error) {
+	return SteinWork(d, e, w, nil)
+}
+
+// SteinWork is Stein drawing every internal buffer — the LU factors, the
+// pivot flags, the iterate, and the result matrix — from wk (nil wk → plain
+// allocation). The returned matrix is pool-owned: hand it back via
+// wk.PutMat once copied, so repeated MethodBI solves reach the same
+// allocation-free steady state as the D&C path.
+func SteinWork(d, e []float64, w []float64, wk *Work) (*matrix.Dense, error) {
 	n := len(d)
 	checkTE(d, e)
 	k := len(w)
-	z := matrix.NewDense(n, k)
+	z := wk.mat(n, k)
 	if n == 0 || k == 0 {
 		return z, nil
 	}
@@ -25,7 +34,21 @@ func Stein(d, e []float64, w []float64) (*matrix.Dense, error) {
 		z.Set(0, 0, 1)
 		return z, nil
 	}
+	ortol, eps3 := steinScales(d, e)
+	for cs := 0; cs < k; {
+		ce := steinClusterEnd(w, cs, ortol)
+		if err := steinCluster(d, e, w, z, cs, ce, eps3, wk); err != nil {
+			return z, err
+		}
+		cs = ce
+	}
+	return z, nil
+}
 
+// steinScales computes the cluster separation threshold (10⁻³·‖T‖₁) and the
+// perturbation scale eps3 used for repeated eigenvalues and zero pivots.
+func steinScales(d, e []float64) (ortol, eps3 float64) {
+	n := len(d)
 	onenrm := math.Abs(d[0]) + math.Abs(e[0])
 	for i := 1; i < n; i++ {
 		t := math.Abs(d[i])
@@ -39,30 +62,58 @@ func Stein(d, e []float64, w []float64) (*matrix.Dense, error) {
 			onenrm = t
 		}
 	}
-	ortol := 1e-3 * onenrm
-	eps3 := Eps * onenrm // smallest useful perturbation scale
+	return 1e-3 * onenrm, Eps * onenrm
+}
 
+// steinClusterEnd returns the end (exclusive) of the reorthogonalization
+// cluster starting at cs: consecutive eigenvalues closer than ortol.
+func steinClusterEnd(w []float64, cs int, ortol float64) int {
+	ce := cs + 1
+	for ce < len(w) && w[ce]-w[ce-1] < ortol {
+		ce++
+	}
+	return ce
+}
+
+// steinSeed derives the deterministic start-vector seed of the cluster
+// beginning at eigenvalue index cs. Seeding per cluster (rather than
+// advancing one stream across all eigenvalues) makes each cluster's
+// computation self-contained, which is what lets SteinSched run clusters
+// concurrently with results bitwise identical to the sequential loop.
+func steinSeed(cs int) uint64 {
+	return 0x9E3779B97F4A7C15 ^ (uint64(cs+1) * 0xBF58476D1CE4E5B9)
+}
+
+// steinCluster runs inverse iteration for eigenvalues [cs, ce), writing
+// columns cs..ce-1 of z. Clusters touch disjoint columns, read only (d, e,
+// w) and their own columns during MGS, and use a cluster-local PRNG, so
+// distinct clusters are fully independent. Scratch is drawn from wk and
+// returned before exit, so a cluster task leaves its worker's pool
+// balanced. Returns ErrNoConvergence if reorthogonalization repeatedly
+// annihilates an iterate.
+func steinCluster(d, e, w []float64, z *matrix.Dense, cs, ce int, eps3 float64, wk *Work) error {
+	n := len(d)
 	// LU workspace for (T − λI) with partial pivoting: sub, diag, super,
-	// super2 (fill-in), and pivot flags.
-	sub := make([]float64, n)
-	diag := make([]float64, n)
-	sup := make([]float64, n)
-	sup2 := make([]float64, n)
-	swapped := make([]bool, n)
-	x := make([]float64, n)
+	// super2 (fill-in), pivot flags, and the iterate.
+	sub := wk.vec(n)
+	diag := wk.vec(n)
+	sup := wk.vec(n)
+	sup2 := wk.vec(n)
+	x := wk.vec(n)
+	swapped := wk.deflatedBuf(n)
+	put := func() {
+		wk.putVec(sub)
+		wk.putVec(diag)
+		wk.putVec(sup)
+		wk.putVec(sup2)
+		wk.putVec(x)
+	}
 
-	rng := newXorshift(0x9E3779B97F4A7C15)
-	clusterStart := 0
-	for j := 0; j < k; j++ {
-		if j > 0 && w[j]-w[j-1] >= ortol {
-			clusterStart = j
-		}
-		lambda := w[j]
+	rng := xorshift{s: steinSeed(cs) | 1}
+	for j := cs; j < ce; j++ {
 		// Perturb repeated eigenvalues slightly so the factorizations
-		// differ (as DSTEIN does).
-		if j > clusterStart {
-			lambda = w[j] + float64(j-clusterStart)*eps3
-		}
+		// differ (as DSTEIN does); j == cs adds exactly zero.
+		lambda := w[j] + float64(j-cs)*eps3
 
 		// Random start vector; the factorization is shift-dependent only,
 		// so compute it once per eigenvalue.
@@ -76,7 +127,7 @@ func Stein(d, e []float64, w []float64) (*matrix.Dense, error) {
 			solveLU(n, sub, diag, sup, sup2, swapped, x)
 			// Reorthogonalize against previously computed vectors of the
 			// same cluster.
-			for c := clusterStart; c < j; c++ {
+			for c := cs; c < j; c++ {
 				col := z.Data[c*z.Stride : c*z.Stride+n]
 				dot := blas.Ddot(n, x, 1, col, 1)
 				blas.Daxpy(n, -dot, col, 1, x, 1)
@@ -86,7 +137,8 @@ func Stein(d, e []float64, w []float64) (*matrix.Dense, error) {
 				// Orthogonalization annihilated the iterate; restart with a
 				// fresh random vector.
 				if restarts++; restarts > MaxSteinRestarts {
-					return z, ErrNoConvergence
+					put()
+					return ErrNoConvergence
 				}
 				for i := 0; i < n; i++ {
 					x[i] = rng.normLike()
@@ -98,7 +150,17 @@ func Stein(d, e []float64, w []float64) (*matrix.Dense, error) {
 		}
 		copy(z.Data[j*z.Stride:j*z.Stride+n], x)
 	}
-	return z, nil
+	put()
+	return nil
+}
+
+// steinClusterFlops is the coarse attribution model of one cluster: per
+// eigenvalue, the LU factorization and five solves (≈8n each) plus the MGS
+// sweeps against the cluster's earlier columns (≈4n per column per sweep).
+func steinClusterFlops(n, cs, ce int) int64 {
+	span := int64(ce - cs)
+	mgs := span * (span - 1) / 2 * 5 * 4 * int64(n)
+	return span*48*int64(n) + mgs
 }
 
 // luTridiag factors T − λI with partial pivoting. The factors are stored in

@@ -19,6 +19,7 @@ import (
 type Work struct {
 	vecs map[int][][]float64     // free float buffers, keyed by exact length
 	mats map[int][]*matrix.Dense // free matrices, keyed by len(Data)
+	ints map[int][][]int         // free int buffers, keyed by exact length
 
 	// Per-merge scratch, reused across the sequential merge nodes.
 	perm     []int
@@ -27,6 +28,7 @@ type Work struct {
 	deflated []bool
 	outs     []dcOut
 	ents     []dcEnt
+	stebz    []stebzIval // bisection interval work-stack
 
 	permSort permSorter
 	outSort  outSorter
@@ -38,6 +40,7 @@ func NewWork() *Work {
 	return &Work{
 		vecs: make(map[int][][]float64),
 		mats: make(map[int][]*matrix.Dense),
+		ints: make(map[int][][]int),
 	}
 }
 
@@ -108,6 +111,55 @@ func (w *Work) putMat(m *matrix.Dense) {
 		return
 	}
 	w.mats[len(m.Data)] = append(w.mats[len(m.Data)], m)
+}
+
+// intVec returns a zeroed int buffer of exactly length n. Unlike the
+// singleton permBuf/sidxBuf scratch, these buffers may be held across task
+// boundaries (the D&C merge's secular-column placement map lives from the
+// pre-task to the post-task), so they are pooled like vec/mat.
+func (w *Work) intVec(n int) []int {
+	if w == nil {
+		return make([]int, n)
+	}
+	if w.ints == nil {
+		w.ints = make(map[int][][]int)
+	}
+	if l := w.ints[n]; len(l) > 0 {
+		buf := l[len(l)-1]
+		w.ints[n] = l[:len(l)-1]
+		clear(buf)
+		return buf
+	}
+	return make([]int, n)
+}
+
+// putIntVec returns a buffer obtained from intVec to the pool.
+func (w *Work) putIntVec(b []int) {
+	if w == nil || cap(b) == 0 {
+		return
+	}
+	if w.ints == nil {
+		w.ints = make(map[int][][]int)
+	}
+	w.ints[len(b)] = append(w.ints[len(b)], b)
+}
+
+// stebzStackBuf returns the (empty) bisection work-stack; putStebzStack
+// hands it back so its grown capacity is retained across solves.
+func (w *Work) stebzStackBuf() []stebzIval {
+	if w == nil {
+		return make([]stebzIval, 0, 64)
+	}
+	if w.stebz == nil {
+		w.stebz = make([]stebzIval, 0, 64)
+	}
+	return w.stebz[:0]
+}
+
+func (w *Work) putStebzStack(s []stebzIval) {
+	if w != nil {
+		w.stebz = s
+	}
 }
 
 // PutVec hands a vector returned by a solver (e.g. StedcWork's eigenvalues)
@@ -226,6 +278,81 @@ func (w *Work) sortEnts(ents []dcEnt) {
 	w.entSort.s = ents
 	sort.Sort(&w.entSort)
 	w.entSort.s = nil
+}
+
+// WorkSet is the parallel-solve extension of Work: one retained pool per
+// scheduler worker plus one for the submitting goroutine (which builds the
+// task DAG — and runs the whole solve in inline mode — concurrently with
+// worker 0, so it must not share worker 0's pool). Task bodies draw scratch
+// from Worker(id) with the id the scheduler hands them; everything outside
+// a task body uses Seq().
+//
+// Buffers may migrate between member pools: a merge task recycles its
+// children's buffers into the pool of whichever worker ran it. That is safe
+// because each pool is only ever touched by the single goroutine currently
+// running a task for that worker (or, for Seq, by the submitting goroutine
+// outside the submit/Wait window), and the scheduler's lock orders a
+// buffer's last write before its next reuse.
+//
+// A nil *WorkSet is valid and falls back to plain allocation, like a nil
+// *Work.
+type WorkSet struct {
+	works []*Work // [0, workers) per scheduler worker; last entry = Seq
+	run   dcRun   // retained D&C DAG state (nodes, latch), reused per solve
+}
+
+// NewWorkSet returns a pool set serving the given scheduler width.
+func NewWorkSet(workers int) *WorkSet {
+	s := &WorkSet{}
+	s.Grow(workers)
+	return s
+}
+
+// Grow ensures the set serves at least the given scheduler width. Existing
+// pools (and their retained buffers) are kept; the Seq pool stays last.
+func (s *WorkSet) Grow(workers int) {
+	if s == nil || workers < 1 {
+		return
+	}
+	for len(s.works) < workers+1 {
+		s.works = append(s.works, NewWork())
+	}
+}
+
+// Worker returns the pool owned by the given scheduler worker.
+func (s *WorkSet) Worker(i int) *Work {
+	if s == nil {
+		return nil
+	}
+	return s.works[i]
+}
+
+// Seq returns the submitting goroutine's pool; it also serves the whole
+// solve on the inline (sequential) path.
+func (s *WorkSet) Seq() *Work {
+	if s == nil {
+		return nil
+	}
+	return s.works[len(s.works)-1]
+}
+
+// PutVec hands a solver-returned vector back to the set (the Seq pool).
+func (s *WorkSet) PutVec(b []float64) { s.Seq().PutVec(b) }
+
+// PutMat hands a solver-returned matrix back to the set (the Seq pool).
+func (s *WorkSet) PutMat(m *matrix.Dense) { s.Seq().PutMat(m) }
+
+// WorkspaceBytes sums the retained float storage of every member pool (see
+// work.WorkspaceSized).
+func (s *WorkSet) WorkspaceBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	var b int64
+	for _, w := range s.works {
+		b += w.WorkspaceBytes()
+	}
+	return b
 }
 
 type permSorter struct {

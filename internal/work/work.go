@@ -54,7 +54,7 @@ const (
 	FusedApply      Key = "backtrans.fused"  // fused Q₂+Q₁ column-block scratch
 	Q1Apply         Key = "stage1.q1apply"   // sequential ApplyQ1 column-block scratch
 	Q1Worker        Key = "stage1.q1worker"  // per-worker parallel ApplyQ1 scratch
-	TridiagWork     Key = "tridiag.work"     // D&C / QR solver scratch pool
+	TridiagWork     Key = "tridiag.work"     // tridiag.WorkSet: per-worker solver scratch pools
 	VectorStage     Key = "vectors.stage"    // eigenvector staging matrix
 	OneStagePanel   Key = "onestage.panel"   // DLATRD W panel
 	OneStageWork    Key = "onestage.work"    // ORMTR work + T factor

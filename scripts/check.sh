@@ -19,3 +19,10 @@ go test -race -run 'TestApplyFused|TestFusedBacktrans|TestSolverCancelDuringBack
 # NaN problem (typed, item-local errors; no cross-item poisoning), plus the
 # validation and degenerate-shape bugfix tests.
 go test -race -run 'TestSolveBatch|TestBatchIsolationMixed|TestNotFiniteError|TestNoConvergencePropagation|TestOptionsClamp|TestDegenerateShapes' .
+
+# The parallel tridiagonal stage, exercised explicitly under -race: bitwise
+# identity of the D&C task DAG / chunked bisection / cluster-parallel inverse
+# iteration against their sequential forms, injected forced non-convergence
+# (MaxIterQL=0 leaves, infinite-pivot Stein clusters) through the error latch,
+# mid-solve cancellation, and the driver-level worker sweeps.
+go test -race -run 'TestStedcSched|TestStebzSched|TestSteinSched|TestSchedAffinity|TestParallelTridiag' ./internal/tridiag ./internal/core
