@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch bench-tridiag
+.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch bench-pipeline bench-tridiag
 
 all: check
 
@@ -34,6 +34,12 @@ bench-backtrans:
 # the measured points (with machine context) in BENCH_batch.json.
 bench-batch:
 	$(GO) run ./cmd/eigbench -exp batch -out BENCH_batch.json
+
+# The phase-pipelined batch executor vs whole-solve batch mode, with the
+# bitwise-identity check between the two modes run in-bench; records the
+# measured points (with machine context) in BENCH_pipeline.json.
+bench-pipeline:
+	$(GO) run ./cmd/eigbench -exp pipeline -out BENCH_pipeline.json
 
 # The parallel tridiagonal stage vs its sequential form (D&C and BI), with
 # the bitwise-identity check and trace-attributed sub-phase splits; records

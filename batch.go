@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -71,9 +72,19 @@ type BatchResult struct {
 // SolveBatch never fails as a whole: per-item errors (invalid shapes,
 // non-finite entries, non-convergence, cancellation) land in the matching
 // BatchResult.Err and leave the Solver and every other item untouched.
-// Do not call SolveBatch from inside a scheduler task (e.g. from another
-// solve's Collector callback): the whole-solve tasks it submits would wait
-// on the workers that are already occupied by the caller.
+// Calling SolveBatch from inside one of this Solver's own scheduler tasks
+// (e.g. from code running under another solve on the same Solver) is
+// detected and refused with ErrReentrantBatch per item — the work it would
+// submit could only run on workers the caller already occupies.
+//
+// On a parallel Solver the batch runs through the pipelined executor: each
+// item advances phase by phase through the two-stage plan (see
+// internal/core's SolveState), so the compute-bound stage 1 of the next
+// item overlaps the memory-bound bulge chase / tridiagonal stage of the
+// current one — the paper's core restriction applied between solves.
+// Options.PipelineDepth bounds the overlap window and
+// Options.DisablePipeline restores the opaque whole-solve behavior; results
+// are bitwise identical in every mode.
 func (s *Solver) SolveBatch(ctx context.Context, items []BatchItem) []BatchResult {
 	out := make([]BatchResult, len(items))
 	if len(items) == 0 {
@@ -88,6 +99,16 @@ func (s *Solver) SolveBatch(ctx context.Context, items []BatchItem) []BatchResul
 		}
 		return out
 	}
+	if scheduler != nil && scheduler.OnWorkerGoroutine() {
+		// Re-entrant call from inside a task of this very scheduler: the
+		// batch would block waiting for workers that are occupied by the
+		// caller — deadlock on a saturated pool. Refuse every item with a
+		// typed error instead.
+		for i := range out {
+			out[i].Err = ErrReentrantBatch
+		}
+		return out
+	}
 
 	slots := 1
 	if scheduler != nil {
@@ -95,6 +116,19 @@ func (s *Solver) SolveBatch(ctx context.Context, items []BatchItem) []BatchResul
 	}
 	if s.opts.BatchConcurrency > 0 {
 		slots = s.opts.BatchConcurrency
+	}
+	pipelined := scheduler != nil && !s.opts.DisablePipeline && s.opts.Algorithm != OneStage
+	if pipelined {
+		// The pipeline window: how many items may hold a SolveState (and
+		// its workspace reservation) at once. It narrows the admission
+		// gate, never widens it.
+		depth := s.opts.PipelineDepth
+		if depth <= 0 || depth > scheduler.Workers() {
+			depth = scheduler.Workers()
+		}
+		if depth < slots {
+			slots = depth
+		}
 	}
 	if slots > len(items) {
 		slots = len(items)
@@ -116,7 +150,7 @@ func (s *Solver) SolveBatch(ctx context.Context, items []BatchItem) []BatchResul
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i] = s.batchSolve(ctx, i, &items[i], scheduler, gate, fanout)
+			out[i] = s.batchSolve(ctx, i, &items[i], scheduler, gate, fanout, pipelined)
 		}(i)
 	}
 	wg.Wait()
@@ -124,18 +158,12 @@ func (s *Solver) SolveBatch(ctx context.Context, items []BatchItem) []BatchResul
 }
 
 // batchSolve validates, admits, and runs one batch item.
-func (s *Solver) batchSolve(ctx context.Context, idx int, it *BatchItem, scheduler *sched.Scheduler, gate *batchGate, fanout int) BatchResult {
+func (s *Solver) batchSolve(ctx context.Context, idx int, it *BatchItem, scheduler *sched.Scheduler, gate *batchGate, fanout int, pipelined bool) BatchResult {
 	if err := validateBatchItem(it); err != nil {
 		return BatchResult{Err: err}
 	}
 	n := it.A.r
 	vectors := !it.ValuesOnly
-
-	cost := core.EstimateWorkspaceBytes(n, s.opts.NB, vectors)
-	if err := gate.acquire(ctx, cost); err != nil {
-		return BatchResult{Err: err}
-	}
-	defer gate.release(cost)
 
 	// Per-item collector: the item's own trace is reported in the result and
 	// merged into the Solver-level collector, so concurrent items do not
@@ -145,9 +173,20 @@ func (s *Solver) batchSolve(ctx context.Context, idx int, it *BatchItem, schedul
 		tc = trace.New()
 	}
 
+	cost := core.EstimateWorkspaceBytes(n, s.opts.NB, vectors)
+	waitStart := time.Now()
+	if err := gate.acquire(ctx, cost); err != nil {
+		return BatchResult{Err: err}
+	}
+	tc.AddPhase(trace.PhaseBatchWait, time.Since(waitStart))
+	defer gate.release(cost)
+
 	var res *Result
 	var err error
-	if scheduler != nil && n < fanout {
+	switch {
+	case pipelined:
+		res, err = s.pipedSolve(ctx, idx, it, scheduler, tc, fanout)
+	case scheduler != nil && n < fanout:
 		// Whole-solve-as-one-task: one labeled job, one task, inline solve
 		// inside the task body. Distinct items occupy distinct workers.
 		job := scheduler.NewJobNamed(ctx, fmt.Sprintf("batch[%d] n=%d", idx, n))
@@ -169,7 +208,7 @@ func (s *Solver) batchSolve(ctx context.Context, idx int, it *BatchItem, schedul
 				err = context.Canceled
 			}
 		}
-	} else {
+	default:
 		// Large problems fan out into the per-tile DAG (scheduler non-nil),
 		// or the Solver is sequential and the solve runs inline here.
 		res, err = s.runSolve(ctx, scheduler, tc, it.A, it.Dst, vectors, it.IL, it.IU)
@@ -185,6 +224,143 @@ func (s *Solver) batchSolve(ctx context.Context, idx int, it *BatchItem, schedul
 		r.Trace = tc
 	}
 	return r
+}
+
+// pipelinePhasePriority is the per-phase step of the pipeline's drain bias:
+// a task of phase k carries k·pipelinePhasePriority on top of its intrinsic
+// priority, so the late phases of in-flight items outrank the stage-1 tasks
+// of freshly admitted ones (whose intrinsic priorities are O(100)) and
+// items drain — releasing their workspace reservation — before new items
+// grab workers.
+const pipelinePhasePriority = 1 << 16
+
+// pipelineMemMask is the core-restriction mask the pipeline puts on
+// memory-bound whole-phase tasks: Options.Stage2Workers when set, else half
+// the pool (rounded up). Zero (no restriction) on pools too narrow to split
+// — with every phase pinned to the same single worker there would be no
+// cross-item overlap left to steer.
+func pipelineMemMask(workers, stage2Workers int) uint64 {
+	if workers <= 1 {
+		return 0
+	}
+	w := stage2Workers
+	if w <= 0 {
+		w = (workers + 1) / 2
+	}
+	if w >= workers {
+		return 0
+	}
+	return sched.AffinityMask(w)
+}
+
+// pipedSolve runs one batch item through the phase plan, phase by phase, on
+// the shared scheduler. Two shapes, mirroring the whole-solve/fan-out split:
+//
+//   - Below the fan-out threshold each phase runs as one scheduler task
+//     (inline phase body) on the item's labeled job. Memory-bound phases
+//     (bulge chase, eig_t) carry the stage-2 core-restriction mask, so the
+//     compute-bound stage-1 tasks of other in-flight items saturate the
+//     remaining workers; later phases carry a higher priority so items near
+//     completion drain first.
+//   - At or above the threshold the phases fan out into their per-tile task
+//     DAGs; a JobFactory labels each phase's job per item and applies the
+//     same drain bias, and the memory-bound stages fall back to a half-pool
+//     core restriction when the caller didn't set one.
+//
+// Either way the kernels execute in the exact sequential-equivalent order
+// the plan defines, so results are bitwise identical to a solo solve.
+func (s *Solver) pipedSolve(ctx context.Context, idx int, it *BatchItem, scheduler *sched.Scheduler, tc *trace.Collector, fanout int) (*Result, error) {
+	n := it.A.r
+	vectors := !it.ValuesOnly
+	fanned := n >= fanout
+
+	var sub *sched.Scheduler // scheduler the phase *bodies* run on
+	if fanned {
+		sub = scheduler
+	}
+	prep, err := s.prepare(sub, tc, it.A, it.Dst, vectors, it.IL, it.IU)
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.Put(prep.ws)
+	if fanned {
+		// Steer the memory-bound stages off the full pool unless the caller
+		// chose a restriction; affinity moves tasks between workers, never
+		// changes results.
+		workers := scheduler.Workers()
+		if prep.co.Stage2Workers <= 0 && workers > 1 {
+			prep.co.Stage2Workers = (workers + 1) / 2
+		}
+		if prep.co.TridiagWorkers <= 0 && workers > 1 {
+			prep.co.TridiagWorkers = (workers + 1) / 2
+		}
+	}
+
+	st, plan, err := core.NewSolveState(ctx, prep.ad, prep.co)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	var cres *core.Result
+	if fanned {
+		// Per-phase labeled jobs with the drain bias; phase bodies fan out
+		// into their per-tile DAGs on the shared scheduler.
+		bias := make(map[string]int, len(plan))
+		for i, ph := range plan {
+			bias[ph.Name()] = i * pipelinePhasePriority
+		}
+		st.JobFactory = func(ph core.Phase, jctx context.Context) *sched.Job {
+			return scheduler.NewJobNamed(jctx, fmt.Sprintf("batch[%d] %s", idx, ph.Name())).
+				SetBias(bias[ph.Name()])
+		}
+		for _, ph := range plan {
+			if err := ph.Run(ctx, st); err != nil {
+				return s.finish(prep, it.Dst, nil, err)
+			}
+		}
+		cres = st.Result()
+		return s.finish(prep, it.Dst, cres, nil)
+	}
+
+	// Phase-as-one-task: the item's phases run inline inside one scheduler
+	// task each, on a single labeled job. The job orders them (each Wait
+	// precedes the next Submit), the per-phase Affinity/Priority do the
+	// steering, and the SolveState carries the artifacts across tasks.
+	job := scheduler.NewJobNamed(ctx, fmt.Sprintf("batch[%d] n=%d", idx, n))
+	memMask := pipelineMemMask(scheduler.Workers(), s.opts.Stage2Workers)
+	for pi, ph := range plan {
+		var perr error
+		ran := false
+		var aff uint64
+		if ph.Class() == core.MemoryBound {
+			aff = memMask
+		}
+		ph := ph
+		job.Submit(sched.Task{
+			Name:     fmt.Sprintf("%s[%d]", ph.Name(), idx),
+			Priority: pi * pipelinePhasePriority,
+			Affinity: aff,
+			Run: func(int) {
+				ran = true
+				perr = ph.Run(ctx, st)
+			},
+		})
+		werr := job.Wait() // also orders the closure writes before our reads
+		if !ran && perr == nil {
+			// The task body never ran: the job was canceled or the
+			// scheduler shut down before execution.
+			perr = werr
+			if perr == nil {
+				perr = context.Canceled
+			}
+		}
+		if perr != nil {
+			return s.finish(prep, it.Dst, nil, perr)
+		}
+	}
+	cres = st.Result()
+	return s.finish(prep, it.Dst, cres, nil)
 }
 
 // validateBatchItem rejects malformed items before any work is admitted.

@@ -372,6 +372,8 @@ func TestOptionsClamp(t *testing.T) {
 		{Workers: 2, Stage2Workers: 1 << 20, Stage2Static: true},
 		{Group: -2},
 		{MemoryBudget: -1, BatchConcurrency: -4, BatchFanout: -1},
+		{PipelineDepth: -7},
+		{Workers: 2, PipelineDepth: 1 << 30},
 	} {
 		res, err := Eig(a, opts)
 		if err != nil {

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|batch|tridiag|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|batch|pipeline|tridiag|all")
 		sizes   = flag.String("sizes", "", "comma-separated matrix sizes for sweeps (default 128,256,384,512)")
 		n       = flag.Int("n", 512, "matrix size for single-size experiments")
 		nb      = flag.Int("nb", 32, "tile size where applicable")
@@ -140,6 +140,31 @@ func main() {
 		path := *out
 		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
 			path = "BENCH_batch.json"
+		}
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eigbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d points)\n", path, len(points))
+	}
+	if *exp == "pipeline" { // not part of "all": the pipelined-batch sweep stands alone
+		psz := sz
+		if *sizes == "" {
+			psz = []int{256, 512, 1024}
+		}
+		w := *workers
+		if w == 0 {
+			w = 8
+		}
+		table, points := pipelineThroughput(psz, 16, w)
+		show(table)
+		path := *out
+		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
+			path = "BENCH_pipeline.json"
 		}
 		data, err := json.MarshalIndent(points, "", "  ")
 		if err == nil {

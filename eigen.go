@@ -129,6 +129,22 @@ type Options struct {
 	// out into per-tile tasks on the shared scheduler instead of running as
 	// a single whole-solve task; 0 picks DefaultBatchFanout.
 	BatchFanout int
+	// PipelineDepth bounds how many SolveBatch items may be mid-plan at
+	// once in the pipelined executor — the window over which the
+	// compute-bound stage 1 of one item overlaps the memory-bound stage
+	// 2/tridiagonal phases of its predecessors. 0 picks the scheduler
+	// width; values are clamped like Workers (negatives → 0, capped at
+	// sched.MaxWorkers and, at batch time, at the scheduler width). It
+	// composes with BatchConcurrency: the effective in-flight cap is the
+	// smaller of the two.
+	PipelineDepth int
+	// DisablePipeline is the kill-switch for the pipelined batch executor:
+	// when set, SolveBatch runs each item as an opaque whole-solve task (or
+	// per-tile fan-out above BatchFanout) exactly as before the phase
+	// pipeline existed. Results are bitwise identical either way; the
+	// switch exists for benchmarking and fault isolation, mirroring
+	// DisableFusedBacktrans and DisableParallelTridiag.
+	DisablePipeline bool
 }
 
 // normalize clamps out-of-range option values in place so that invalid
@@ -169,6 +185,12 @@ func (o *Options) normalize() {
 	}
 	if o.BatchFanout < 0 {
 		o.BatchFanout = 0
+	}
+	if o.PipelineDepth < 0 {
+		o.PipelineDepth = 0
+	}
+	if o.PipelineDepth > sched.MaxWorkers {
+		o.PipelineDepth = sched.MaxWorkers
 	}
 }
 

@@ -58,6 +58,15 @@ func (e *RangeError) Error() string {
 // Is reports whether target is ErrInvalidRange.
 func (e *RangeError) Is(target error) bool { return target == ErrInvalidRange }
 
+// ErrReentrantBatch is returned in every BatchResult when SolveBatch is
+// called from inside one of the Solver's own scheduler tasks (for example
+// from code running under another solve on the same Solver). Such a call
+// would submit work and then block waiting for workers that are already
+// occupied by the caller — a guaranteed deadlock on a saturated pool — so it
+// is detected up front and refused per item. Calling SolveBatch from an
+// ordinary goroutine, or on a *different* Solver, is always fine.
+var ErrReentrantBatch = errors.New("eigen: SolveBatch called from inside a scheduler task")
+
 // ErrNoConvergence is returned (unwrapped, so == comparison also works) when
 // an iterative tridiagonal eigensolver exceeds its iteration budget. For
 // these algorithms that indicates a pathological matrix or a logic error

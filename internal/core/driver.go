@@ -16,10 +16,8 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/backtransform"
 	"repro/internal/band"
 	"repro/internal/blas"
-	"repro/internal/bulge"
 	"repro/internal/matrix"
 	"repro/internal/onestage"
 	"repro/internal/sched"
@@ -213,143 +211,23 @@ func ctxErr(ctx context.Context) error {
 // algorithm. a is not modified. ctx may be nil (no cancellation); on
 // cancellation the context's error is returned and any shared scheduler in
 // o.Sched remains usable.
+//
+// It is a thin loop over the phase plan (see plan.go): callers that need to
+// interleave or suspend phases — the pipelined batch executor, a future
+// checkpointing service — use NewSolveState and run the plan themselves;
+// both paths execute the identical phase bodies and are bitwise identical.
 func SyevTwoStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, error) {
-	n := a.Rows
-	if a.Cols != n {
-		return nil, fmt.Errorf("core: matrix must be square, got %d×%d", n, a.Cols)
-	}
-	if n == 0 {
-		return &Result{}, nil
-	}
-	il, iu, err := o.indexRange(n)
+	st, plan, err := NewSolveState(ctx, a, o)
 	if err != nil {
 		return nil, err
 	}
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	tc := o.Collector
-	ws := o.Arena
-
-	s := o.Sched
-	if s == nil && o.Workers > 1 {
-		s = sched.New(o.Workers)
-		defer s.Shutdown()
-	}
-	var stage2Aff uint64
-	workers := 1
-	if s != nil {
-		workers = s.Workers()
-	}
-	if s != nil && o.Stage2Workers > 0 && o.Stage2Workers < workers {
-		stage2Aff = sched.AffinityMask(o.Stage2Workers)
-	}
-
-	nb := o.NB
-	if nb <= 0 {
-		nb = band.DefaultNB
-	}
-
-	// Stage 1: dense → band. Without a scheduler one inline job serves
-	// every phase (it carries no per-phase state, only the ctx); with a
-	// scheduler each phase gets a fresh Job.
-	aw := ws.Dense(work.Stage1Dense, n, n, false)
-	aw.CopyFrom(a)
-	var f1 *band.Factor
-	job := phaseJob(s, ctx)
-	tc.Phase(trace.PhaseStage1, func() {
-		f1 = band.Reduce(aw, nb, job, ws, tc)
-	})
-	if err := job.Err(); err != nil {
-		return nil, err
-	}
-
-	// Stage 2: band → tridiagonal. Skip reflector accumulation when no
-	// vectors are wanted — the back-transformation never runs.
-	var chase *bulge.Result
-	if o.Stage2Static {
-		wkr := o.Stage2Workers
-		if wkr <= 0 {
-			wkr = max(1, workers)
-		}
-		var serr error
-		tc.Phase(trace.PhaseStage2, func() {
-			chase, serr = bulge.ChaseStatic(ctx, f1.Band, wkr, o.Vectors, ws, tc)
-		})
-		if serr != nil {
-			return nil, serr
-		}
-	} else {
-		if s != nil {
-			job = s.NewJob(ctx)
-		}
-		tc.Phase(trace.PhaseStage2, func() {
-			chase = bulge.Chase(f1.Band, job, stage2Aff, o.Vectors, ws, tc)
-		})
-		if err := job.Err(); err != nil {
+	defer st.Close()
+	for _, ph := range plan {
+		if err := ph.Run(ctx, st); err != nil {
 			return nil, err
 		}
 	}
-
-	// Phase 2 of the eigensolver: eigenpairs of T, parallelized over the
-	// same scheduler as the reduction stages.
-	vals, evecs, err := solveTridiagonal(ctx, chase.T, &o, s, il, iu, ws, tc)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Values: vals}
-	if !o.Vectors {
-		return res, nil
-	}
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-
-	// Back-transformation: Z = Q₁·(Q₂·E). Both paths share one column-block
-	// width so the fused and legacy sweeps partition E identically (which is
-	// what makes them bitwise comparable).
-	colBlock := o.ColBlock
-	if colBlock <= 0 {
-		colBlock = DefaultColBlock(evecs.Cols, nb, workers)
-	}
-	if o.FusedBacktrans != FuseOff {
-		// Fused single pass: one task per column block applies every Q₂
-		// diamond and then the full Q₁ sequence while the block is hot —
-		// no inter-phase barrier, one sweep over E instead of two.
-		if s != nil {
-			job = s.NewJob(ctx)
-		}
-		tc.Phase(trace.PhaseBacktransFused, func() {
-			plan := backtransform.NewPlan(chase, o.Group, ws)
-			plan.ApplyFused(f1, evecs, job, colBlock, tc)
-		})
-		if err := job.Err(); err != nil {
-			return nil, err
-		}
-		res.Vectors = evecs
-		return res, nil
-	}
-	if s != nil {
-		job = s.NewJob(ctx)
-	}
-	tc.Phase(trace.PhaseUpdateQ2, func() {
-		plan := backtransform.NewPlan(chase, o.Group, ws)
-		plan.Apply(evecs, job, colBlock, tc)
-	})
-	if err := job.Err(); err != nil {
-		return nil, err
-	}
-	if s != nil {
-		job = s.NewJob(ctx)
-	}
-	tc.Phase(trace.PhaseUpdateQ1, func() {
-		f1.ApplyQ1(blas.NoTrans, evecs, job, colBlock, tc)
-	})
-	if err := job.Err(); err != nil {
-		return nil, err
-	}
-	res.Vectors = evecs
-	return res, nil
+	return st.Result(), nil
 }
 
 // SyevOneStage computes the same eigenpairs with the classic one-stage
@@ -392,7 +270,12 @@ func SyevOneStage(ctx context.Context, a *matrix.Dense, o Options) (*Result, err
 		return nil, err
 	}
 	t := &matrix.Tridiagonal{D: d, E: e}
-	vals, evecs, err := solveTridiagonal(ctx, t, &o, s, il, iu, ws, tc)
+	es := s
+	if o.DisableParallelTridiag {
+		es = nil
+	}
+	vals, evecs, err := solveTridiagonal(ctx, t, &o, es, il, iu, ws, tc,
+		func() *sched.Job { return phaseJob(es, ctx) })
 	if err != nil {
 		return nil, err
 	}
@@ -443,19 +326,18 @@ func intoVectors(dst *matrix.Dense, src *matrix.Dense) *matrix.Dense {
 // returns the [il, iu] slice of the spectrum (and vectors when requested).
 // The returned slices/matrices are caller-owned copies, never arena-backed.
 //
-// With a scheduler (and without the DisableParallelTridiag kill-switch) the
-// stage runs its parallel entry points — concurrent D&C subtrees and tiled
-// merges, chunked bisection, cluster-parallel inverse iteration — on a
-// fresh job; results are bitwise identical to the sequential path at any
-// worker count. Options.TridiagWorkers restricts the stage's tasks to a
-// prefix of the pool, like Stage2Workers does for the bulge chasing.
-func solveTridiagonal(ctx context.Context, t *matrix.Tridiagonal, o *Options, s *sched.Scheduler, il, iu int, ws *work.Arena, tc *trace.Collector) (vals []float64, evecs *matrix.Dense, err error) {
+// es is the scheduler the stage runs on: the solve's scheduler, or nil when
+// the DisableParallelTridiag kill-switch forces the stage sequential. With
+// a scheduler the stage runs its parallel entry points — concurrent D&C
+// subtrees and tiled merges, chunked bisection, cluster-parallel inverse
+// iteration — on a job obtained from newJob (which lets the phase plan
+// route labeled/biased jobs through); results are bitwise identical to the
+// sequential path at any worker count. Options.TridiagWorkers restricts the
+// stage's tasks to a prefix of the pool, like Stage2Workers does for the
+// bulge chasing.
+func solveTridiagonal(ctx context.Context, t *matrix.Tridiagonal, o *Options, es *sched.Scheduler, il, iu int, ws *work.Arena, tc *trace.Collector, newJob func() *sched.Job) (vals []float64, evecs *matrix.Dense, err error) {
 	n := t.N()
 	k := iu - il + 1
-	es := s
-	if o.DisableParallelTridiag {
-		es = nil
-	}
 	var aff uint64
 	poolW := 1
 	if es != nil {
@@ -466,7 +348,7 @@ func solveTridiagonal(ctx context.Context, t *matrix.Tridiagonal, o *Options, s 
 	}
 	set := tridiagWorks(ws, poolW)
 	tc.Phase(trace.PhaseEigT, func() {
-		job := phaseJob(es, ctx)
+		job := newJob()
 		// Scratch copies of (d, e): the solvers destroy their inputs.
 		scratch := func() (d, e []float64) {
 			d = ws.Floats(work.TridiagD, n, false)

@@ -1,0 +1,347 @@
+// The phase plan: the two-stage driver decomposed into resumable steps.
+//
+// SyevTwoStage used to be one straight-line function; it is now a thin loop
+// over a Plan — a typed sequence of Phase values (Stage1, Stage2, Tridiag,
+// Backtrans) advancing a SolveState that carries every cross-phase artifact
+// (the band factor, the chase result, eigenvalues, the eigenvector staging
+// matrix, the arena). The decomposition is what lets the batch layer
+// interleave *different solves'* phases on one scheduler — the compute-bound
+// stage 1 of item k+1 overlapping the memory-bound bulge chase of item k,
+// the paper's hybrid static/dynamic core restriction applied *between*
+// solves — and what makes a solve suspendable: a SolveState may be stopped
+// after any phase and resumed later to a bitwise-identical result, the
+// checkpointing surface the service layer needs.
+//
+// Ownership: a SolveState pins its Options.Arena for its whole lifetime.
+// The arena must not serve another solve until the plan has completed (or
+// been abandoned); suspending a state suspends the arena with it.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/backtransform"
+	"repro/internal/band"
+	"repro/internal/blas"
+	"repro/internal/bulge"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/work"
+)
+
+// PhaseClass tags a phase with the resource it is bound by. The batch
+// pipeline steers on it: memory-bound phases are restricted to a prefix of
+// the workers (sched.AffinityMask) so the compute-bound phases of other
+// in-flight solves saturate the remaining cores — the paper's core
+// restriction, applied across solves instead of within one.
+type PhaseClass int
+
+const (
+	// ComputeBound phases (tile reduction, back-transformation) scale with
+	// cores and may use the whole pool.
+	ComputeBound PhaseClass = iota
+	// MemoryBound phases (bulge chasing, the tridiagonal eigensolver's
+	// Level-2-heavy kernels) are bandwidth-limited; restricting them to
+	// fewer cores costs little time and frees the rest.
+	MemoryBound
+)
+
+func (c PhaseClass) String() string {
+	if c == MemoryBound {
+		return "memory-bound"
+	}
+	return "compute-bound"
+}
+
+// Phase is one resumable step of the two-stage eigensolver. Running a phase
+// reads and extends its SolveState; phases must execute in plan order, each
+// at most once. Name doubles as the trace phase the step's wall time is
+// attributed to.
+type Phase interface {
+	// Name is the phase's trace attribution name (trace.PhaseStage1, ...).
+	Name() string
+	// Class reports whether the phase is compute- or memory-bound.
+	Class() PhaseClass
+	// Run executes the phase, advancing st. A non-nil error aborts the
+	// plan; the SolveState must then be abandoned.
+	Run(ctx context.Context, st *SolveState) error
+}
+
+// Plan is the ordered phase sequence of one solve.
+type Plan []Phase
+
+// BuildPlan returns the two-stage phase sequence for the given options:
+// Stage1 → Stage2 → Tridiag, plus Backtrans when eigenvectors are wanted.
+func BuildPlan(o *Options) Plan {
+	p := Plan{Stage1{}, Stage2{}, Tridiag{}}
+	if o.Vectors {
+		p = append(p, Backtrans{})
+	}
+	return p
+}
+
+// SolveState carries one two-stage solve across phases: the input, the
+// resolved execution parameters, and every cross-phase artifact. It is
+// created by NewSolveState, advanced by Phase.Run in plan order (any pause
+// between phases is fine — that is the suspend/resume surface), and
+// finished by Result. A SolveState is not safe for concurrent use; one
+// phase runs at a time.
+type SolveState struct {
+	// JobFactory, when non-nil, replaces the default per-phase job creation
+	// for scheduler-backed phases. The batch pipeline uses it to label each
+	// phase's job per item (trace attribution) and to bias late-phase tasks
+	// above the early-phase tasks of newly admitted items (sched.Job.SetBias).
+	// It is only consulted when the phase runs on a scheduler; sequential
+	// phases share one inline job carrying the solve's cancellation state.
+	JobFactory func(ph Phase, ctx context.Context) *sched.Job
+
+	a *matrix.Dense
+	o Options
+
+	n, il, iu, nb int
+
+	s         *sched.Scheduler
+	ownSched  bool // transient scheduler created for this solve; Close shuts it down
+	workers   int
+	stage2Aff uint64
+
+	ws *work.Arena
+	tc *trace.Collector
+
+	// inline is the shared schedulerless job: created lazily on the first
+	// sequential phase and reused by every later one, so cancellation state
+	// stays sticky across phases exactly as in the straight-line driver.
+	inline    *sched.Job
+	inlineSet bool
+
+	// Cross-phase artifacts, owned by the state (arena-backed except for
+	// vals/evecs, which are caller-owned copies).
+	f1       *band.Factor
+	chase    *bulge.Result
+	vals     []float64
+	evecs    *matrix.Dense
+	vecsDone bool
+
+	trivial *Result // set for n == 0: the plan is empty and Result returns this
+}
+
+// NewSolveState validates the problem and builds its phase plan. The
+// returned state must be advanced by running the plan's phases in order and
+// released with Close (which only matters when the state owns a transient
+// scheduler — Close is a no-op otherwise, and always idempotent). For n = 0
+// the plan is empty and Result is immediately valid.
+func NewSolveState(ctx context.Context, a *matrix.Dense, o Options) (*SolveState, Plan, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("core: matrix must be square, got %d×%d", n, a.Cols)
+	}
+	if n == 0 {
+		return &SolveState{trivial: &Result{}}, Plan{}, nil
+	}
+	il, iu, err := o.indexRange(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	st := &SolveState{
+		a:  a,
+		o:  o,
+		n:  n,
+		il: il,
+		iu: iu,
+		ws: o.Arena,
+		tc: o.Collector,
+		s:  o.Sched,
+	}
+	if st.s == nil && o.Workers > 1 {
+		st.s = sched.New(o.Workers)
+		st.ownSched = true
+	}
+	st.workers = 1
+	if st.s != nil {
+		st.workers = st.s.Workers()
+	}
+	if st.s != nil && o.Stage2Workers > 0 && o.Stage2Workers < st.workers {
+		st.stage2Aff = sched.AffinityMask(o.Stage2Workers)
+	}
+	st.nb = o.NB
+	if st.nb <= 0 {
+		st.nb = band.DefaultNB
+	}
+	return st, BuildPlan(&o), nil
+}
+
+// Close releases resources owned by the state: the transient scheduler, when
+// NewSolveState created one (Options.Sched nil, Options.Workers > 1). It is
+// idempotent and never touches a caller-supplied scheduler or arena.
+func (st *SolveState) Close() {
+	if st.ownSched && st.s != nil {
+		st.s.Shutdown()
+		st.s = nil
+		st.ownSched = false
+	}
+}
+
+// Result assembles the solve's outcome. It is valid only after every phase
+// of the plan has run (immediately, for the empty n = 0 plan); eigenvectors
+// are present only when the plan included Backtrans and it completed.
+func (st *SolveState) Result() *Result {
+	if st.trivial != nil {
+		return st.trivial
+	}
+	res := &Result{Values: st.vals}
+	if st.vecsDone {
+		res.Vectors = st.evecs
+	}
+	return res
+}
+
+// phaseJob returns the task stream a phase runs on. Scheduler-backed phases
+// get a fresh job per phase (or whatever JobFactory supplies); sequential
+// phases — including ones forced sequential by a kill-switch while the rest
+// of the solve is scheduled — share the state's single inline job, which
+// carries cancellation across phases exactly like the straight-line driver
+// did. s is the scheduler the phase will use (nil for sequential).
+func (st *SolveState) phaseJob(ctx context.Context, ph Phase, s *sched.Scheduler) *sched.Job {
+	if s != nil {
+		if st.JobFactory != nil {
+			return st.JobFactory(ph, ctx)
+		}
+		return s.NewJob(ctx)
+	}
+	if !st.inlineSet {
+		st.inlineSet = true
+		if ctx != nil {
+			st.inline = sched.Inline(ctx)
+		}
+	}
+	return st.inline // may be nil (no ctx): a nil *Job is valid everywhere
+}
+
+// Stage1 reduces the dense working copy of A to band form (the tile DAG of
+// the paper's first stage). Compute-bound: ~(4/3)n³ Level-3 flops.
+type Stage1 struct{}
+
+func (Stage1) Name() string      { return trace.PhaseStage1 }
+func (Stage1) Class() PhaseClass { return ComputeBound }
+
+func (p Stage1) Run(ctx context.Context, st *SolveState) error {
+	aw := st.ws.Dense(work.Stage1Dense, st.n, st.n, false)
+	aw.CopyFrom(st.a)
+	job := st.phaseJob(ctx, p, st.s)
+	st.tc.Phase(trace.PhaseStage1, func() {
+		st.f1 = band.Reduce(aw, st.nb, job, st.ws, st.tc)
+	})
+	return job.Err()
+}
+
+// Stage2 chases the band down to tridiagonal form (bulge chasing).
+// Memory-bound: the kernels stream the band with Level-2-like intensity,
+// which is why the paper restricts this stage to fewer cores.
+type Stage2 struct{}
+
+func (Stage2) Name() string      { return trace.PhaseStage2 }
+func (Stage2) Class() PhaseClass { return MemoryBound }
+
+func (p Stage2) Run(ctx context.Context, st *SolveState) error {
+	// Skip reflector accumulation when no vectors are wanted — the
+	// back-transformation never runs.
+	if st.o.Stage2Static {
+		wkr := st.o.Stage2Workers
+		if wkr <= 0 {
+			wkr = max(1, st.workers)
+		}
+		var serr error
+		st.tc.Phase(trace.PhaseStage2, func() {
+			st.chase, serr = bulge.ChaseStatic(ctx, st.f1.Band, wkr, st.o.Vectors, st.ws, st.tc)
+		})
+		return serr
+	}
+	job := st.phaseJob(ctx, p, st.s)
+	st.tc.Phase(trace.PhaseStage2, func() {
+		st.chase = bulge.Chase(st.f1.Band, job, st.stage2Aff, st.o.Vectors, st.ws, st.tc)
+	})
+	return job.Err()
+}
+
+// Tridiag solves the tridiagonal eigenproblem (eig_t) with the selected
+// method. Tagged memory-bound for pipeline steering: D&C merges carry
+// Level-3 work, but the stage's bisection/inverse-iteration kernels and the
+// small-n regimes the pipeline targets are bandwidth-limited, and keeping it
+// off the full pool leaves cores for co-scheduled stage-1 DAGs.
+type Tridiag struct{}
+
+func (Tridiag) Name() string      { return trace.PhaseEigT }
+func (Tridiag) Class() PhaseClass { return MemoryBound }
+
+func (p Tridiag) Run(ctx context.Context, st *SolveState) error {
+	es := st.s
+	if st.o.DisableParallelTridiag {
+		es = nil
+	}
+	vals, evecs, err := solveTridiagonal(ctx, st.chase.T, &st.o, es, st.il, st.iu, st.ws, st.tc,
+		func() *sched.Job { return st.phaseJob(ctx, p, es) })
+	if err != nil {
+		return err
+	}
+	st.vals, st.evecs = vals, evecs
+	return nil
+}
+
+// Backtrans accumulates the eigenvectors of A from the eigenvectors of T:
+// Z = Q₁·(Q₂·E), fused single pass by default, the legacy two-phase
+// sequence under the FuseOff kill-switch. Compute-bound: 2n³·f Level-3
+// flops per factor.
+type Backtrans struct{}
+
+func (Backtrans) Name() string      { return trace.PhaseBacktrans }
+func (Backtrans) Class() PhaseClass { return ComputeBound }
+
+func (p Backtrans) Run(ctx context.Context, st *SolveState) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	// Both paths share one column-block width so the fused and legacy
+	// sweeps partition E identically (which is what makes them bitwise
+	// comparable).
+	colBlock := st.o.ColBlock
+	if colBlock <= 0 {
+		colBlock = DefaultColBlock(st.evecs.Cols, st.nb, st.workers)
+	}
+	if st.o.FusedBacktrans != FuseOff {
+		// Fused single pass: one task per column block applies every Q₂
+		// diamond and then the full Q₁ sequence while the block is hot —
+		// no inter-phase barrier, one sweep over E instead of two.
+		job := st.phaseJob(ctx, p, st.s)
+		st.tc.Phase(trace.PhaseBacktransFused, func() {
+			plan := backtransform.NewPlan(st.chase, st.o.Group, st.ws)
+			plan.ApplyFused(st.f1, st.evecs, job, colBlock, st.tc)
+		})
+		if err := job.Err(); err != nil {
+			return err
+		}
+		st.vecsDone = true
+		return nil
+	}
+	job := st.phaseJob(ctx, p, st.s)
+	st.tc.Phase(trace.PhaseUpdateQ2, func() {
+		plan := backtransform.NewPlan(st.chase, st.o.Group, st.ws)
+		plan.Apply(st.evecs, job, colBlock, st.tc)
+	})
+	if err := job.Err(); err != nil {
+		return err
+	}
+	job = st.phaseJob(ctx, p, st.s)
+	st.tc.Phase(trace.PhaseUpdateQ1, func() {
+		st.f1.ApplyQ1(blas.NoTrans, st.evecs, job, colBlock, st.tc)
+	})
+	if err := job.Err(); err != nil {
+		return err
+	}
+	st.vecsDone = true
+	return nil
+}

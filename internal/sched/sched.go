@@ -18,8 +18,11 @@
 package sched
 
 import (
+	"bytes"
 	"container/heap"
 	"fmt"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -87,6 +90,7 @@ type node struct {
 	task      Task
 	job       *Job // the job the task belongs to
 	seq       int
+	prio      int     // effective priority: Task.Priority + the job's bias
 	waitCount int     // unsatisfied dependences
 	children  []*node // tasks that depend on this one
 	done      bool
@@ -219,7 +223,7 @@ func (s *Scheduler) submitLocked(j *Job, t Task) {
 		}
 		return
 	}
-	n := &node{task: t, job: j, seq: s.seq}
+	n := &node{task: t, job: j, seq: s.seq, prio: t.Priority + j.bias}
 	s.seq++
 	s.pending++
 	j.pending++
@@ -323,8 +327,45 @@ func (s *Scheduler) Trace() []TraceEvent {
 	return out
 }
 
+// workerGoros maps the goroutine id of every live scheduler worker to its
+// owning *Scheduler. It backs OnWorkerGoroutine, the re-entrance probe that
+// lets blocking entry points (SolveBatch's admission gate, whole-phase task
+// waits) refuse to run from inside one of their own tasks instead of
+// deadlocking on workers that are already occupied by the caller.
+var workerGoros sync.Map
+
+// curGoroutineID extracts the calling goroutine's id from the first line of
+// its stack trace ("goroutine N [running]:"). It is the standard trick for
+// goroutine identity in the absence of goroutine-local storage; the cost is
+// one runtime.Stack call, paid once per registration or probe — never per
+// task.
+func curGoroutineID() uint64 {
+	var buf [64]byte
+	b := buf[:runtime.Stack(buf[:], false)]
+	b = bytes.TrimPrefix(b, []byte("goroutine "))
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		b = b[:i]
+	}
+	id, _ := strconv.ParseUint(string(b), 10, 64)
+	return id
+}
+
+// OnWorkerGoroutine reports whether the calling goroutine is one of this
+// scheduler's workers — i.e. whether the caller is executing inside a task.
+// Code that would block waiting for scheduler capacity (such as submitting
+// work and waiting on it) must not do so from a worker goroutine; this probe
+// makes that error detectable so it can surface as a typed error instead of
+// a deadlock.
+func (s *Scheduler) OnWorkerGoroutine() bool {
+	owner, ok := workerGoros.Load(curGoroutineID())
+	return ok && owner.(*Scheduler) == s
+}
+
 func (s *Scheduler) worker(id int) {
 	defer s.wg.Done()
+	gid := curGoroutineID()
+	workerGoros.Store(gid, s)
+	defer workerGoros.Delete(gid)
 	mask := uint64(1) << uint(id)
 	for {
 		s.mu.Lock()
@@ -419,11 +460,12 @@ func (q *readyQueues) popFor(workerMask uint64) *node {
 	return heap.Pop(best).(*node)
 }
 
-// less orders the ready queue: higher priority first, then submission order
-// (FIFO) for determinism.
+// less orders the ready queue: higher effective priority (the task's own
+// priority plus its job's bias) first, then submission order (FIFO) for
+// determinism.
 func less(a, b *node) bool {
-	if a.task.Priority != b.task.Priority {
-		return a.task.Priority > b.task.Priority
+	if a.prio != b.prio {
+		return a.prio > b.prio
 	}
 	return a.seq < b.seq
 }

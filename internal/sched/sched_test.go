@@ -476,3 +476,69 @@ func TestSubmitAfterShutdown(t *testing.T) {
 		t.Fatalf("Err = %v, want ErrStopped", err)
 	}
 }
+
+func TestJobBiasOrdersAcrossJobs(t *testing.T) {
+	// Two jobs on a deferred one-worker scheduler: the biased job's tasks
+	// must run before the unbiased job's, even though the unbiased tasks
+	// carry a higher intrinsic Priority and were submitted first — the bias
+	// is what lets a drained-phase pipeline item overtake fresh items whose
+	// phases use large internal priorities.
+	s := New(1, Deferred())
+	defer s.Shutdown()
+	fresh := s.NewJob(nil)
+	drained := s.NewJob(nil).SetBias(1 << 16)
+	var order []string
+	var mu sync.Mutex
+	record := func(tag string) func(int) {
+		return func(int) {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		fresh.Submit(Task{Name: "fresh", Priority: 100, Deps: []Dep{W(i)}, Run: record("fresh")})
+	}
+	for i := 0; i < 3; i++ {
+		drained.Submit(Task{Name: "drained", Priority: 10, Deps: []Dep{W(100 + i)}, Run: record("drained")})
+	}
+	s.Start()
+	if err := fresh.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := drained.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"drained", "drained", "drained", "fresh", "fresh", "fresh"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want biased job first (%v)", order, want)
+		}
+	}
+}
+
+func TestOnWorkerGoroutine(t *testing.T) {
+	s := New(2)
+	defer s.Shutdown()
+	other := New(1)
+	defer other.Shutdown()
+
+	if s.OnWorkerGoroutine() {
+		t.Fatal("submitting goroutine misdetected as a worker")
+	}
+	var onS, onOther bool
+	j := s.NewJob(nil)
+	j.Submit(Task{Name: "probe", Run: func(int) {
+		onS = s.OnWorkerGoroutine()
+		onOther = other.OnWorkerGoroutine()
+	}})
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !onS {
+		t.Fatal("task body not detected as running on its own scheduler's worker")
+	}
+	if onOther {
+		t.Fatal("task body misattributed to a different scheduler's worker")
+	}
+}

@@ -44,6 +44,14 @@ const (
 	// legacy phase names, so the Figure 1 breakdown stays reconstructible.
 	PhaseBacktransFused = "backtrans_fused"
 
+	// PhaseBatchWait is the time a batch item spent blocked in SolveBatch's
+	// admission gate (concurrency slots + memory-budget reservation) before
+	// its first phase ran. It is recorded into the item's own collector, so
+	// per-item traces through the pipelined executor separate queueing delay
+	// from compute — without it, admission pressure would be invisible in
+	// the per-phase breakdown and look like a slow stage 1.
+	PhaseBatchWait = "batch_wait"
+
 	// Attribution-only sub-phases of the tridiagonal stage. eig_t runs
 	// under one wall-clock phase; the solvers credit coarse flop estimates
 	// of their kernels here via AttributeFlops (the same side-channel the

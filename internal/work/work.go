@@ -65,6 +65,13 @@ const (
 // workers of one solve calling Slab.Take and using their own PerWorker
 // slots. A nil *Arena is valid everywhere and simply allocates fresh
 // buffers, so one-shot code paths need no conditionals.
+//
+// With the phase-plan driver a "solve" may span dormant time: a
+// core.SolveState pins its arena from NewSolveState until the plan
+// completes or is abandoned, including any suspension between phases. An
+// arena handed to a SolveState (or held by a pipelined batch item mid-plan)
+// must therefore not return to a Pool or serve another solve until that
+// state is finished — suspending a state suspends the arena with it.
 type Arena struct {
 	floats    map[Key][]float64
 	perWorker map[Key][][]float64

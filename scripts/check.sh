@@ -20,6 +20,14 @@ go test -race -run 'TestApplyFused|TestFusedBacktrans|TestSolverCancelDuringBack
 # validation and degenerate-shape bugfix tests.
 go test -race -run 'TestSolveBatch|TestBatchIsolationMixed|TestNotFiniteError|TestNoConvergencePropagation|TestOptionsClamp|TestDegenerateShapes' .
 
+# The pipelined batch executor, exercised explicitly under -race: bitwise
+# identity of the phase-interleaved pipeline against solo solves across worker
+# counts and both execution shapes (phase-as-one-task and per-tile fan-out),
+# the PipelineDepth/DisablePipeline knobs, mid-pipeline cancellation, an
+# injected non-convergent item, the re-entrant-call refusal, and the
+# suspend/resume round-trip of the underlying phase plan.
+go test -race -run 'TestSolveBatchPipeline|TestSolveBatchReentrant|TestPipeline|TestSolveState|TestBuildPlan' ./internal/core .
+
 # The parallel tridiagonal stage, exercised explicitly under -race: bitwise
 # identity of the D&C task DAG / chunked bisection / cluster-parallel inverse
 # iteration against their sequential forms, injected forced non-convergence
