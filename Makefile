@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch bench-pipeline bench-tridiag
+.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch bench-pipeline bench-tridiag bench-kernels tune
 
 all: check
 
@@ -47,3 +47,14 @@ bench-pipeline:
 bench-tridiag:
 	$(GO) run ./cmd/eigbench -exp tridiag -out BENCH_tridiag.json
 	$(GO) test -run '^$$' -bench 'BenchmarkStebz' ./internal/tridiag
+
+# The GEMM kernel rework: per-kernel Dgemm Gflop/s (seed baseline vs the
+# packed kernels, assembly included via the build tag) and end-to-end Eig
+# wall time, with bitwise gates; records BENCH_kernels.json.
+bench-kernels:
+	$(GO) run -tags blasasm ./cmd/eigbench -exp kernels -out BENCH_kernels.json
+
+# Tune this machine and persist the profile eigen.Solver loads at
+# construction ($EIGEN_TUNE_PROFILE or the user cache dir).
+tune:
+	$(GO) run -tags blasasm ./cmd/eigtune -save

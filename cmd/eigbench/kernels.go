@@ -1,0 +1,28 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// kernelsExperiment runs the GEMM-kernel before/after comparison (-exp
+// kernels): per-kernel Dgemm Gflop/s at the acceptance order 512 (plus 256
+// for shape), end-to-end Eig wall time at 256/512/1024 under the seed and
+// reworked kernels, bitwise gates on everything, serialized to
+// BENCH_kernels.json. Build with -tags blasasm to include the assembly
+// kernel (recorded in the asm_active field either way).
+func kernelsExperiment(out string, reps int) (*bench.Table, error) {
+	table, report := bench.KernelsExperiment([]int{256, 512}, []int{256, 512, 1024}, reps)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		err = os.WriteFile(out, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		return table, fmt.Errorf("writing %s: %w", out, err)
+	}
+	fmt.Printf("wrote %s (Dgemm 512 speedup vs seed: %.2fx)\n", out, report.SpeedupVsSeed(512))
+	return table, nil
+}

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|batch|pipeline|tridiag|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|batch|pipeline|tridiag|kernels|all")
 		sizes   = flag.String("sizes", "", "comma-separated matrix sizes for sweeps (default 128,256,384,512)")
 		n       = flag.Int("n", 512, "matrix size for single-size experiments")
 		nb      = flag.Int("nb", 32, "tile size where applicable")
@@ -175,6 +175,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d points)\n", path, len(points))
+	}
+	if *exp == "kernels" { // not part of "all": the kernel sweep stands alone
+		path := *out
+		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
+			path = "BENCH_kernels.json"
+		}
+		table, err := kernelsExperiment(path, 3)
+		show(table)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eigbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *exp == "tridiag" { // not part of "all": the eig_t sweep stands alone
 		tsz := sz

@@ -1,62 +1,188 @@
-// Command eigtune picks the tile size n_b for this machine, the way §7.1 of
-// the paper tunes its implementation: it measures the machine parameters
-// (α, β), evaluates the bulge-chasing model (Eqs. 9–10) for its analytic
-// optimum, then runs an empirical sweep of the full reduction and reports
-// both, flagging where they disagree.
+// Command eigtune tunes this machine the way §7.1 of the paper tunes its
+// implementation, then persists the result: it measures the machine
+// parameters (α, β), sweeps the GEMM blocking and kernel family, the stage-1
+// tile size n_b (cross-checked against the Eqs. 9–10 analytic optimum), and
+// the back-transformation column block, and writes the winners to the
+// versioned JSON profile that eigen.Solver loads at construction
+// ($EIGEN_TUNE_PROFILE or ~/.cache/eigen/tune.json).
 //
-//	eigtune -n 768 -nbs 16,32,48,64,96
+//	eigtune -save                 # full sweep, write the profile
+//	eigtune -save=false           # report only, write nothing
+//	eigtune -o /tmp/tune.json     # write somewhere else
+//
+// Any measurement failure — a solve that errors, a kernel that is not bitwise
+// identical to the seed baseline, a non-finite rate — aborts with a non-zero
+// exit and no profile is written: a tuner must never persist settings it
+// could not validate.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/blas"
 	"repro/internal/model"
+	"repro/internal/tune"
 )
 
-func main() {
-	var (
-		n   = flag.Int("n", 512, "matrix size for the empirical sweep")
-		nbs = flag.String("nbs", "8,16,24,32,48,64,96", "comma-separated tile sizes to sweep")
-	)
-	flag.Parse()
+func die(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "eigtune: "+format+"\n", args...)
+	os.Exit(1)
+}
 
+func parseInts(flagName, s string) []int {
 	var list []int
-	for _, tok := range strings.Split(*nbs, ",") {
+	for _, tok := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "eigtune: bad nb %q\n", tok)
+			fmt.Fprintf(os.Stderr, "eigtune: bad %s value %q\n", flagName, tok)
 			os.Exit(2)
 		}
 		list = append(list, v)
 	}
+	return list
+}
 
+func main() {
+	var (
+		n         = flag.Int("n", 512, "matrix size for the stage-1 nb sweep")
+		nbs       = flag.String("nbs", "8,16,24,32,48,64,96", "comma-separated tile sizes to sweep")
+		gemmN     = flag.Int("gemm-n", 384, "matrix order for the GEMM blocking sweep")
+		colblocks = flag.String("colblocks", "32,48,64,96,128", "comma-separated column-block widths to sweep")
+		reps      = flag.Int("reps", 2, "repetitions per measurement (best-of; raise on noisy hosts)")
+		workers   = flag.Int("workers", 0, "scheduler workers for the nb/colblock sweeps (0 = sequential)")
+		save      = flag.Bool("save", true, "persist the winning profile to disk")
+		out       = flag.String("o", "", "profile path (default $EIGEN_TUNE_PROFILE or the user cache dir)")
+	)
+	flag.Parse()
+	nbList := parseInts("nb", *nbs)
+	cbList := parseInts("colblock", *colblocks)
+
+	// ---- Machine parameters (§7.1: α from gemm, β from symv) ----
 	fmt.Println("Measuring machine parameters...")
-	p := model.MeasureParams(runtime.NumCPU())
-	fmt.Printf("  alpha (gemm) = %.2f Gflop/s\n", p.Alpha/1e9)
-	fmt.Printf("  beta  (symv) = %.2f Gflop/s\n", p.Beta/1e9)
-	fmt.Printf("  model-optimal nb (Eqs. 9-10): %.0f\n\n", model.OptimalNB(p))
+	params := model.MeasureParams(runtime.NumCPU())
+	if !(params.Alpha > 0) || !(params.Beta > 0) ||
+		math.IsInf(params.Alpha, 0) || math.IsInf(params.Beta, 0) {
+		die("machine parameter measurement failed: alpha=%g beta=%g", params.Alpha, params.Beta)
+	}
+	modelNB := model.OptimalNB(params)
+	fmt.Printf("  alpha (gemm) = %.2f Gflop/s\n", params.Alpha/1e9)
+	fmt.Printf("  beta  (symv) = %.2f Gflop/s\n", params.Beta/1e9)
+	fmt.Printf("  model-optimal nb (Eqs. 9-10): %.0f\n\n", modelNB)
 
-	t := bench.Figure5(*n, list, 0)
-	fmt.Println(t.String())
-
-	// Pick the empirical winner by total reduction time (last column).
-	bestIdx, bestSec := -1, 0.0
-	for i, row := range t.Rows {
-		var cur float64
-		if _, err := fmt.Sscanf(row[5], "%fs", &cur); err != nil {
-			continue
+	// ---- GEMM kernel and cache-blocking sweep ----
+	// First the kernel family at stock blocking (seed included as the
+	// baseline and the bitwise reference), then a block-size grid around the
+	// winner. KC is pinned by the profile schema: it is the one parameter
+	// that changes rounding.
+	fmt.Printf("Sweeping GEMM kernels and blocking at n=%d (asm=%v)...\n", *gemmN, blas.AsmActive())
+	kernels := []blas.Kernel{blas.KernelSeed, blas.Kernel2x4, blas.Kernel4x4, blas.Kernel8x4, blas.KernelAuto}
+	var configs []blas.Blocking
+	for _, k := range kernels {
+		configs = append(configs, blas.Blocking{Kernel: k})
+	}
+	pts := bench.GemmSweep(*gemmN, configs, *reps)
+	bestKernel := blas.KernelAuto
+	bestRate := 0.0
+	for i, p := range pts {
+		fmt.Printf("  kernel %-4s  %7.2f Gflop/s  bitwise=%v\n", p.Kernel, p.GFlops, p.BitwiseVsSeed)
+		if !p.BitwiseVsSeed {
+			die("kernel %s is not bitwise identical to the seed kernel — refusing to tune on a broken kernel", p.Kernel)
 		}
-		if bestIdx < 0 || cur < bestSec {
-			bestIdx, bestSec = i, cur
+		if !(p.GFlops > 0) {
+			die("kernel %s measured a non-positive rate", p.Kernel)
+		}
+		if p.Kernel != "seed" && p.GFlops > bestRate {
+			bestRate, bestKernel = p.GFlops, kernels[i]
 		}
 	}
-	if bestIdx >= 0 {
-		fmt.Printf("empirical best nb at n=%d: %s (total reduction %s)\n", *n, t.Rows[bestIdx][0], t.Rows[bestIdx][5])
+	var grid []blas.Blocking
+	for _, mc := range []int{128, 256, 384} {
+		for _, nc := range []int{256, 512, 1024} {
+			grid = append(grid, blas.Blocking{MC: mc, KC: tune.RequiredKC, NC: nc, Kernel: bestKernel})
+		}
 	}
+	gridPts := bench.GemmSweep(*gemmN, grid, *reps)
+	bestBlock := blas.Blocking{MC: blas.DefaultMC, KC: tune.RequiredKC, NC: blas.DefaultNC, Kernel: bestKernel}
+	bestBlockRate := 0.0
+	for i, p := range gridPts {
+		fmt.Printf("  %s mc=%-4d nc=%-5d %7.2f Gflop/s  bitwise=%v\n", p.Kernel, p.MC, p.NC, p.GFlops, p.BitwiseVsSeed)
+		if !p.BitwiseVsSeed {
+			die("blocking mc=%d nc=%d broke bitwise equality with the seed kernel", p.MC, p.NC)
+		}
+		if p.GFlops > bestBlockRate {
+			bestBlockRate, bestBlock = p.GFlops, grid[i]
+		}
+	}
+	fmt.Printf("  best: kernel=%s mc=%d nc=%d (%.2f Gflop/s)\n\n", bestBlock.Kernel, bestBlock.MC, bestBlock.NC, bestBlockRate)
+
+	// ---- Stage-1 tile size sweep, cross-checked against the model ----
+	fmt.Printf("Sweeping stage-1 nb at n=%d...\n", *n)
+	nbPts, err := bench.NBSweep(*n, nbList, *workers)
+	if err != nil {
+		die("nb sweep failed: %v", err)
+	}
+	bestNB, bestNBSecs := 0, 0.0
+	for _, p := range nbPts {
+		fmt.Printf("  nb=%-4d stage1 %.3fs  stage2 %.3fs  total %.3fs\n", p.NB, p.Stage1Secs, p.Stage2Secs, p.TotalSecs)
+		if bestNB == 0 || p.TotalSecs < bestNBSecs {
+			bestNB, bestNBSecs = p.NB, p.TotalSecs
+		}
+	}
+	fmt.Printf("  empirical best nb: %d (model predicts %.0f", bestNB, modelNB)
+	if ratio := float64(bestNB) / modelNB; ratio > 2 || ratio < 0.5 {
+		fmt.Printf(" — disagreement >2x; trust the measurement, see EXPERIMENTS.md")
+	}
+	fmt.Printf(")\n\n")
+
+	// ---- Back-transformation column-block sweep ----
+	fmt.Printf("Sweeping back-transformation column block at n=%d, nb=%d...\n", *n, bestNB)
+	cbPts := bench.ColBlockSweep(*n, bestNB, *workers, cbList, *reps)
+	bestCB, bestCBSecs := 0, 0.0
+	for _, p := range cbPts {
+		fmt.Printf("  colBlock=%-4d %.3fs\n", p.ColBlock, p.Secs)
+		if !(p.Secs > 0) {
+			die("colBlock=%d measured a non-positive time", p.ColBlock)
+		}
+		if bestCB == 0 || p.Secs < bestCBSecs {
+			bestCB, bestCBSecs = p.ColBlock, p.Secs
+		}
+	}
+	fmt.Printf("  empirical best colBlock: %d\n\n", bestCB)
+
+	// ---- Persist ----
+	p := tune.NewProfile()
+	p.Created = time.Now().UTC().Format(time.RFC3339)
+	p.Gemm = tune.GemmConfig{MC: bestBlock.MC, KC: tune.RequiredKC, NC: bestBlock.NC, Kernel: bestBlock.Kernel.String()}
+	p.NB = bestNB
+	p.ColBlock = bestCB
+	p.AlphaFlops = params.Alpha
+	p.BetaFlops = params.Beta
+	p.ModelNB = int(modelNB + 0.5)
+	if err := p.Validate(); err != nil {
+		die("assembled profile is invalid: %v", err)
+	}
+	if !*save {
+		fmt.Println("(-save=false: profile not written)")
+		return
+	}
+	path := *out
+	if path == "" {
+		path, err = tune.DefaultPath()
+		if err != nil {
+			die("%v", err)
+		}
+	}
+	if err := p.Save(path); err != nil {
+		die("writing profile: %v", err)
+	}
+	tune.InvalidateCache()
+	fmt.Printf("wrote %s\n", path)
 }

@@ -66,8 +66,18 @@ type Options struct {
 	// Method selects the tridiagonal eigensolver (default DivideAndConquer).
 	Method Method
 	// NB is the tile size/bandwidth (two-stage) or panel width (one-stage);
-	// 0 picks a default. See the tuning discussion in EXPERIMENTS.md.
+	// 0 picks a default — the machine's tune profile when one is installed
+	// (see Tuning), else the built-in constant. See the tuning discussion in
+	// EXPERIMENTS.md. Note that unlike every other tuning knob, NB selects a
+	// different (equally valid) factorization, so changing it changes the
+	// computed eigenvector basis in the last bits.
 	NB int
+	// ColBlock is the eigenvector column-block width shared by the Q₂/Q₁
+	// appliers and the fused back-transformation; 0 picks a default (the
+	// tune profile when installed, else the internal/tune heuristic).
+	// Results are bitwise identical at any width — the knob only partitions
+	// independent columns.
+	ColBlock int
 	// Workers sets the task-scheduler width; 0 or 1 runs sequentially.
 	// Values above sched.MaxWorkers (64, the width of the scheduler's
 	// affinity masks) are clamped to 64; negative values run sequentially.
@@ -138,6 +148,17 @@ type Options struct {
 	// composes with BatchConcurrency: the effective in-flight cap is the
 	// smaller of the two.
 	PipelineDepth int
+	// Tuning overrides the machine's persisted tune profile for this Solver:
+	// when non-nil (and valid for this machine) it is applied instead of the
+	// on-disk profile from eigtune. Explicitly set Options fields (NB,
+	// ColBlock) still win over the profile's values. See cmd/eigtune and the
+	// README's "tuning your machine" section.
+	Tuning *TuneProfile
+	// DisableTuning is the kill-switch for profile application: when set,
+	// NewSolver ignores both Tuning and the on-disk profile and leaves the
+	// process-wide GEMM blocking untouched — the zero-configuration behavior
+	// from before the autotuner existed.
+	DisableTuning bool
 	// DisablePipeline is the kill-switch for the pipelined batch executor:
 	// when set, SolveBatch runs each item as an opaque whole-solve task (or
 	// per-tile fan-out above BatchFanout) exactly as before the phase
@@ -160,6 +181,9 @@ func (o *Options) normalize() {
 	}
 	if o.NB < 0 {
 		o.NB = 0
+	}
+	if o.ColBlock < 0 {
+		o.ColBlock = 0
 	}
 	if o.Stage2Workers < 0 {
 		o.Stage2Workers = 0
@@ -198,6 +222,7 @@ func (o *Options) toCore(vectors bool, il, iu int) core.Options {
 	var c core.Options
 	if o != nil {
 		c.NB = o.NB
+		c.ColBlock = o.ColBlock
 		c.Workers = o.Workers
 		c.Stage2Workers = o.Stage2Workers
 		c.Stage2Static = o.Stage2Static

@@ -1,0 +1,334 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/work"
+)
+
+// GemmPoint is one measured GEMM configuration: the blocking/kernel that ran,
+// its rate, and whether its output matched the frozen seed kernel bit for
+// bit. It is the machine-readable row of BENCH_kernels.json and of the
+// eigtune sweep.
+type GemmPoint struct {
+	N      int     `json:"n"`
+	Kernel string  `json:"kernel"`
+	MC     int     `json:"mc"`
+	NC     int     `json:"nc"`
+	GFlops float64 `json:"gflops"`
+	// BitwiseVsSeed reports exact equality against the seed kernel's output
+	// on the same operands (KC is pinned across all configurations, so any
+	// difference is a kernel bug, not rounding).
+	BitwiseVsSeed bool `json:"bitwise_vs_seed"`
+}
+
+// gemmOperands builds deterministic n×n operands for the GEMM measurements.
+func gemmOperands(n int) (a, b []float64) {
+	rng := rand.New(rand.NewSource(int64(n)*104729 + 5))
+	a = make([]float64, n*n)
+	b = make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	return a, b
+}
+
+// seedGemmRef computes the reference product with the frozen seed kernel.
+func seedGemmRef(n int, a, b []float64) []float64 {
+	old := blas.SetBlocking(blas.Blocking{Kernel: blas.KernelSeed})
+	defer blas.SetBlocking(old)
+	c := make([]float64, n*n)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+	return c
+}
+
+// MeasureGemmConfig times C = A·B at order n under the given blocking and
+// returns the best-of-reps rate plus the output for equality checks. The
+// measurement floor of ~80 ms per rep keeps single runs meaningful on noisy
+// shared hosts; reps take the best to shed scheduler interference.
+func MeasureGemmConfig(n int, bk blas.Blocking, reps int, a, b []float64) (float64, []float64) {
+	if reps < 1 {
+		reps = 1
+	}
+	old := blas.SetBlocking(bk)
+	defer blas.SetBlocking(old)
+	c := make([]float64, n*n)
+	flop := 2 * float64(n) * float64(n) * float64(n)
+	// Warm-up run also produces the comparison output.
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < 80*time.Millisecond {
+			blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+			iters++
+		}
+		if rate := float64(iters) * flop / time.Since(start).Seconds(); rate > best {
+			best = rate
+		}
+	}
+	return best, c
+}
+
+// GemmSweep measures each configuration at order n and checks it bitwise
+// against the seed kernel. It is the shared measurement core of the eigtune
+// block sweep and the eigbench kernels experiment.
+func GemmSweep(n int, configs []blas.Blocking, reps int) []GemmPoint {
+	a, b := gemmOperands(n)
+	ref := seedGemmRef(n, a, b)
+	pts := make([]GemmPoint, 0, len(configs))
+	for _, bk := range configs {
+		rate, c := MeasureGemmConfig(n, bk, reps, a, b)
+		identical := true
+		for i := range c {
+			if c[i] != ref[i] {
+				identical = false
+				break
+			}
+		}
+		eff := bk
+		if eff.MC <= 0 {
+			eff.MC = blas.DefaultMC
+		}
+		if eff.NC <= 0 {
+			eff.NC = blas.DefaultNC
+		}
+		pts = append(pts, GemmPoint{
+			N: n, Kernel: bk.Kernel.String(), MC: eff.MC, NC: eff.NC,
+			GFlops: rate / 1e9, BitwiseVsSeed: identical,
+		})
+	}
+	return pts
+}
+
+// NBPoint is one stage-1 tile size measured over the full two-stage
+// reduction (the structured form of the Figure 5 sweep, so eigtune does not
+// have to parse rendered tables — the old Sscanf-on-table-cells approach is
+// what let measurement failures slip through silently).
+type NBPoint struct {
+	NB         int     `json:"nb"`
+	Stage1Secs float64 `json:"stage1_secs"`
+	Stage2Secs float64 `json:"stage2_secs"`
+	TotalSecs  float64 `json:"total_secs"`
+}
+
+// NBSweep times the two-stage reduction (values-only D&C solve) for each
+// tile size and returns the measured points. Any failed solve aborts the
+// sweep with an error: a tuner must not persist a profile built on partial
+// measurements.
+func NBSweep(n int, nbs []int, workers int) ([]NBPoint, error) {
+	pts := make([]NBPoint, 0, len(nbs))
+	for _, nb := range nbs {
+		a := matFor(n)
+		tc, _, err := solveTimed(a, true, core.Options{Method: core.MethodDC, Vectors: false, NB: nb, Workers: workers})
+		if err != nil {
+			return nil, fmt.Errorf("nb=%d solve failed: %w", nb, err)
+		}
+		s1 := tc.PhaseTime(trace.PhaseStage1).Seconds()
+		s2 := tc.PhaseTime(trace.PhaseStage2).Seconds()
+		if s1+s2 <= 0 {
+			return nil, fmt.Errorf("nb=%d reported no reduction time", nb)
+		}
+		pts = append(pts, NBPoint{NB: nb, Stage1Secs: s1, Stage2Secs: s2, TotalSecs: s1 + s2})
+	}
+	return pts, nil
+}
+
+// ColBlockPoint is one measured eigenvector column-block width for the fused
+// back-transformation.
+type ColBlockPoint struct {
+	ColBlock int     `json:"col_block"`
+	Secs     float64 `json:"secs"`
+}
+
+// ColBlockSweep times the fused back-transformation at each column-block
+// width (best of reps). All widths produce bitwise identical results — the
+// knob only partitions independent columns — so only time is recorded.
+func ColBlockSweep(n, nb, workers int, colBlocks []int, reps int) []ColBlockPoint {
+	if reps < 1 {
+		reps = 1
+	}
+	fx := newBacktransFixture(n, nb, work.NewArena())
+	var s *sched.Scheduler
+	if workers > 1 {
+		s = sched.New(workers)
+		defer s.Shutdown()
+	}
+	dst := matrix.NewDense(n, n)
+	pts := make([]ColBlockPoint, 0, len(colBlocks))
+	for _, cb := range colBlocks {
+		var d time.Duration
+		for r := 0; r < reps; r++ {
+			d = minDur(d, fx.fused(s, cb, dst), r == 0)
+		}
+		pts = append(pts, ColBlockPoint{ColBlock: cb, Secs: d.Seconds()})
+	}
+	return pts
+}
+
+// EigPoint is one end-to-end solve (all eigenpairs, two-stage D&C) under a
+// given GEMM kernel.
+type EigPoint struct {
+	N      int     `json:"n"`
+	Kernel string  `json:"kernel"`
+	Secs   float64 `json:"secs"`
+	// BitwiseVsSeed: values and vectors equal, bit for bit, to the solve
+	// under the seed kernel at the same size.
+	BitwiseVsSeed bool `json:"bitwise_vs_seed"`
+}
+
+// EigKernelCompare runs the full eigensolve at each size under each kernel
+// (best of reps), verifying every kernel's results bitwise against the seed
+// kernel's. This is the end-to-end "before/after" record of
+// BENCH_kernels.json.
+func EigKernelCompare(sizes []int, kernels []blas.Kernel, reps int) ([]EigPoint, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	defer blas.SetBlocking(blas.DefaultBlocking())
+	var pts []EigPoint
+	for _, n := range sizes {
+		a := matFor(n)
+		var refVals []float64
+		var refVecs *matrix.Dense
+		for _, kern := range kernels {
+			blas.SetBlocking(blas.Blocking{Kernel: kern})
+			var best time.Duration
+			var res *core.Result
+			for r := 0; r < reps; r++ {
+				tc, rr, err := solveTimed(a, true, core.Options{Method: core.MethodDC, Vectors: true})
+				if err != nil {
+					return nil, fmt.Errorf("n=%d kernel=%s: %w", n, kern, err)
+				}
+				best = minDur(best, tc.PhaseTime("total"), r == 0)
+				res = rr
+			}
+			identical := true
+			if kern == blas.KernelSeed {
+				refVals, refVecs = res.Values, res.Vectors
+			} else {
+				for i := range res.Values {
+					if res.Values[i] != refVals[i] {
+						identical = false
+						break
+					}
+				}
+				if identical && !res.Vectors.Equalish(refVecs, 0) {
+					identical = false
+				}
+			}
+			pts = append(pts, EigPoint{N: n, Kernel: kern.String(), Secs: best.Seconds(), BitwiseVsSeed: identical})
+		}
+	}
+	return pts, nil
+}
+
+// KernelsReport is the machine-readable record of the kernels experiment
+// (BENCH_kernels.json): machine identity, whether the assembly kernel ran,
+// per-kernel GEMM rates with the seed baseline, and end-to-end solve times.
+type KernelsReport struct {
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	AsmActive  bool        `json:"asm_active"`
+	Gemm       []GemmPoint `json:"gemm"`
+	Eig        []EigPoint  `json:"eig"`
+}
+
+// SpeedupVsSeed reports the best non-seed GEMM rate at order n relative to
+// the seed kernel's (0 when either side is missing) — the ≥1.5× acceptance
+// number of the kernel rework.
+func (r *KernelsReport) SpeedupVsSeed(n int) float64 {
+	var seed, best float64
+	for _, p := range r.Gemm {
+		if p.N != n {
+			continue
+		}
+		if p.Kernel == "seed" {
+			seed = p.GFlops
+		} else if p.GFlops > best {
+			best = p.GFlops
+		}
+	}
+	if seed <= 0 {
+		return 0
+	}
+	return best / seed
+}
+
+// KernelsExperiment measures every kernel family at the given GEMM orders and
+// the end-to-end solve at the given sizes, rendering a table and the JSON
+// report. The seed kernel is always included as the "before" baseline.
+func KernelsExperiment(gemmSizes, eigSizes []int, reps int) (*Table, *KernelsReport) {
+	rep := &KernelsReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		AsmActive: blas.AsmActive(),
+	}
+	kernels := []blas.Kernel{blas.KernelSeed, blas.Kernel2x4, blas.Kernel4x4, blas.Kernel8x4, blas.KernelAuto}
+	t := &Table{
+		Name:    fmt.Sprintf("GEMM kernels — before (seed) vs after, asm=%v", rep.AsmActive),
+		Headers: []string{"n", "kernel", "Gflop/s", "vs seed", "bitwise=seed"},
+	}
+	for _, n := range gemmSizes {
+		var configs []blas.Blocking
+		for _, k := range kernels {
+			configs = append(configs, blas.Blocking{Kernel: k})
+		}
+		pts := GemmSweep(n, configs, reps)
+		var seed float64
+		for _, p := range pts {
+			if p.Kernel == "seed" {
+				seed = p.GFlops
+			}
+		}
+		for _, p := range pts {
+			ratio := "-"
+			if seed > 0 && p.Kernel != "seed" {
+				ratio = f2(p.GFlops / seed)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", p.N), p.Kernel, f3(p.GFlops), ratio, fmt.Sprintf("%v", p.BitwiseVsSeed),
+			})
+		}
+		rep.Gemm = append(rep.Gemm, pts...)
+	}
+
+	eig, err := EigKernelCompare(eigSizes, []blas.Kernel{blas.KernelSeed, blas.KernelAuto}, reps)
+	if err != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf("end-to-end comparison failed: %v", err))
+	} else {
+		rep.Eig = eig
+		et := map[int]map[string]float64{}
+		for _, p := range eig {
+			if et[p.N] == nil {
+				et[p.N] = map[string]float64{}
+			}
+			et[p.N][p.Kernel] = p.Secs
+			if p.Kernel != "seed" {
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprintf("%d", p.N), "eig:" + p.Kernel,
+					secs(time.Duration(p.Secs * float64(time.Second))),
+					f2(et[p.N]["seed"] / p.Secs), fmt.Sprintf("%v", p.BitwiseVsSeed),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"seed is the frozen pre-rework kernel (fixed 128/128/64 blocking, B re-packed per strip): the 'before' baseline.",
+		"all kernels share KC=128, so bitwise=seed must be true everywhere — a false is a kernel bug, not rounding.",
+		"eig rows time the full two-stage solve (all vectors, D&C) under the given kernel; 'vs seed' is the wall-time speedup.",
+	)
+	return t, rep
+}

@@ -1,0 +1,286 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the number of goroutines Dgemm may fan out to. It defaults
+// to GOMAXPROCS and may be changed with SetParallelism. The eigensolver's
+// task scheduler usually wants this set to 1 so that parallelism is
+// extracted at the task level instead of inside individual kernels.
+var parallelism int64 = int64(runtime.GOMAXPROCS(0))
+
+// SetParallelism sets the maximum number of goroutines the Level 3 kernels
+// may use internally and returns the previous value. n < 1 is treated as 1.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(atomic.SwapInt64(&parallelism, int64(n)))
+}
+
+// Parallelism reports the current Level 3 kernel parallelism.
+func Parallelism() int { return int(atomic.LoadInt64(&parallelism)) }
+
+// Dgemm computes C := alpha*op(A)*op(B) + beta*C where op(A) is m×k and
+// op(B) is k×n, all column-major.
+//
+// The blocked driver packs op(A) into MC×KC row-panels and op(B) into
+// KC×NC column-panels (once per block — the packed B panel is reused across
+// every MC strip), then runs the register-blocked micro-kernel selected by
+// the active Blocking over the packed panels. Every C element is one
+// accumulation chain over k in ascending order, split only at KC
+// boundaries, so for a fixed KC all kernels — including the frozen seed
+// kernel and the optional assembly kernel — produce bitwise identical
+// results.
+func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	rowA, colA := m, k
+	if transA == Trans {
+		rowA, colA = k, m
+	}
+	rowB, colB := k, n
+	if transB == Trans {
+		rowB, colB = n, k
+	}
+	checkMatrix("dgemm", rowA, colA, a, lda)
+	checkMatrix("dgemm", rowB, colB, b, ldb)
+	checkMatrix("dgemm", m, n, c, ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+	if beta != 1 {
+		for j := 0; j < n; j++ {
+			col := c[j*ldc : j*ldc+m]
+			if beta == 0 {
+				for i := range col {
+					col[i] = 0
+				}
+			} else {
+				for i := range col {
+					col[i] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+
+	// The loaded configuration is shared by pointer (SetBlocking swaps the
+	// pointer, never mutates in place); copying it here would make the copy
+	// escape into the closures below and cost one heap allocation per call,
+	// which the tile kernels issue millions of times.
+	bk := blocking.Load()
+	if bk.Kernel == KernelSeed {
+		dgemmSeed(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	mr, useAsm := bk.resolveMR()
+	// Pack storage sized to the actual problem, not the configured maxima
+	// (a 24-wide tile-kernel gemm should not pin a megabyte of buffers).
+	kcEff := min(bk.KC, k)
+	packNA := min(bk.MC, (m+mr-1)/mr*mr) * kcEff
+	packNB := min(bk.NC, (n+3)&^3) * kcEff
+
+	p := Parallelism()
+	if p > 1 && n >= 2*bk.NC && int64(m)*int64(n)*int64(k) > 1<<18 {
+		// Split C into column panels; each panel is an independent gemm.
+		panels := (n + bk.NC - 1) / bk.NC
+		if p > panels {
+			p = panels
+		}
+		var wg sync.WaitGroup
+		var next int64
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := getPackBuf(packNA, packNB)
+				defer putPackBuf(buf)
+				for {
+					j := int(atomic.AddInt64(&next, 1)-1) * bk.NC
+					if j >= n {
+						return
+					}
+					jn := min(bk.NC, n-j)
+					var bsub []float64
+					if transB == NoTrans {
+						bsub = b[j*ldb:]
+					} else {
+						bsub = b[j:]
+					}
+					gemmBlocked(transA, transB, m, jn, k, alpha, a, lda, bsub, ldb, c[j*ldc:], ldc, bk, mr, useAsm, buf)
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	buf := getPackBuf(packNA, packNB)
+	gemmBlocked(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc, bk, mr, useAsm, buf)
+	putPackBuf(buf)
+}
+
+// gemmBlocked computes C += alpha*op(A)*op(B) (beta already applied) with
+// the three-level cache blocking. buf supplies the pack storage for the
+// whole call; nothing below this level allocates.
+func gemmBlocked(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, bk *Blocking, mr int, useAsm bool, buf *packBuf) {
+	for jj := 0; jj < n; jj += bk.NC {
+		nc := min(bk.NC, n-jj)
+		for kk := 0; kk < k; kk += bk.KC {
+			kc := min(bk.KC, k-kk)
+			// Pack alpha·op(B)[kk:kk+kc, jj:jj+nc] once; it is reused by
+			// every MC strip of A below (the seed kernel re-packed it per
+			// strip, which this structure exists to fix).
+			packB(buf.b, transB, b, ldb, kk, jj, kc, nc, alpha, useAsm)
+			for ii := 0; ii < m; ii += bk.MC {
+				mc := min(bk.MC, m-ii)
+				packA(buf.a, transA, a, lda, ii, kk, mc, kc, mr, useAsm)
+				gemmMacro(buf.a, buf.b, mc, nc, kc, mr, useAsm, c[ii+jj*ldc:], ldc)
+			}
+		}
+	}
+}
+
+// packB packs alpha·op(B)[kk:kk+kc, jj:jj+nc] into 4-column panels of
+// kc·4 values each. In stream layout (portable kernels) each panel is four
+// contiguous length-kc column streams, panel[t*kc+l]; in interleaved layout
+// (assembly kernel, which broadcasts the four B values of one k step from
+// consecutive memory) it is panel[l*4+t]. Ragged panels are zero-padded to
+// the full tile width; the padded columns are computed by the micro-kernel
+// but never stored. The layout never affects results: each C element's
+// accumulation chain only depends on the order of k, which both layouts
+// preserve.
+func packB(dst []float64, transB Transpose, b []float64, ldb, kk, jj, kc, nc int, alpha float64, interleave bool) {
+	np := (nc + microNR - 1) / microNR
+	for q := 0; q < np; q++ {
+		panel := dst[q*microNR*kc : (q+1)*microNR*kc]
+		w := min(microNR, nc-q*microNR)
+		if interleave {
+			for t := 0; t < w; t++ {
+				if transB == NoTrans {
+					src := b[kk+(jj+q*microNR+t)*ldb:]
+					for l := 0; l < kc; l++ {
+						panel[l*microNR+t] = alpha * src[l]
+					}
+				} else {
+					for l := 0; l < kc; l++ {
+						panel[l*microNR+t] = alpha * b[(jj+q*microNR+t)+(kk+l)*ldb]
+					}
+				}
+			}
+			for t := w; t < microNR; t++ {
+				for l := 0; l < kc; l++ {
+					panel[l*microNR+t] = 0
+				}
+			}
+			continue
+		}
+		for t := 0; t < w; t++ {
+			col := panel[t*kc : t*kc+kc]
+			if transB == NoTrans {
+				src := b[kk+(jj+q*microNR+t)*ldb:]
+				for l := 0; l < kc; l++ {
+					col[l] = alpha * src[l]
+				}
+			} else {
+				for l := 0; l < kc; l++ {
+					col[l] = alpha * b[(jj+q*microNR+t)+(kk+l)*ldb]
+				}
+			}
+		}
+		for t := w; t < microNR; t++ {
+			col := panel[t*kc : t*kc+kc]
+			for l := range col {
+				col[l] = 0
+			}
+		}
+	}
+}
+
+// packA packs op(A)[ii:ii+mc, kk:kk+kc] into row-panels of mr rows. Full
+// panels are mr contiguous length-kc row streams (panel[r*kc+l]) for the
+// portable kernels, or k-interleaved (panel[l*mr+r], so one VMOVUPD reads
+// a full column of the tile) for the assembly kernel. The final ragged
+// panel (h < mr rows) is always packed as streams at its exact height and
+// dispatched to the generic fringe kernel.
+func packA(dst []float64, transA Transpose, a []float64, lda, ii, kk, mc, kc, mr int, interleave bool) {
+	off := 0
+	for p := 0; p < mc; p += mr {
+		h := min(mr, mc-p)
+		panel := dst[off : off+h*kc]
+		if interleave && h == mr {
+			if transA == NoTrans {
+				for l := 0; l < kc; l++ {
+					src := a[ii+p+(kk+l)*lda:]
+					row := panel[l*h : l*h+h]
+					for r := range row {
+						row[r] = src[r]
+					}
+				}
+			} else {
+				for r := 0; r < h; r++ {
+					src := a[kk+(ii+p+r)*lda:]
+					for l := 0; l < kc; l++ {
+						panel[l*h+r] = src[l]
+					}
+				}
+			}
+			off += h * kc
+			continue
+		}
+		if transA == NoTrans {
+			// Row r of the panel is contiguous; the strided reads walk
+			// each column of a once.
+			for r := 0; r < h; r++ {
+				src := a[ii+p+r+kk*lda:]
+				row := panel[r*kc : r*kc+kc]
+				for l := range row {
+					row[l] = src[l*lda]
+				}
+			}
+		} else {
+			// Row r of op(A) is a contiguous column of a.
+			for r := 0; r < h; r++ {
+				src := a[kk+(ii+p+r)*lda:]
+				copy(panel[r*kc:r*kc+kc], src[:kc])
+			}
+		}
+		off += h * kc
+	}
+}
+
+// gemmMacro runs the micro-kernel grid over one packed (mc×kc)·(kc×nc)
+// block. The loop order keeps each 4-column B panel L1-resident while the
+// packed A block streams through it.
+func gemmMacro(apack, bpack []float64, mc, nc, kc, mr int, useAsm bool, c []float64, ldc int) {
+	np := (nc + microNR - 1) / microNR
+	for q := 0; q < np; q++ {
+		bp := bpack[q*microNR*kc : (q+1)*microNR*kc]
+		nr := min(microNR, nc-q*microNR)
+		cq := c[q*microNR*ldc:]
+		off := 0
+		for p := 0; p < mc; p += mr {
+			h := min(mr, mc-p)
+			ap := apack[off : off+h*kc]
+			off += h * kc
+			ct := cq[p:]
+			switch {
+			case h < mr && useAsm:
+				kernMx4i(kc, h, ap, bp, ct, ldc, nr)
+			case h < mr:
+				kernMx4(kc, h, ap, bp, ct, ldc, nr)
+			case useAsm:
+				kern8x4asm(kc, ap, bp, ct, ldc, nr)
+			case mr == 8:
+				kern8x4(kc, ap, bp, ct, ldc, nr)
+			case mr == 4:
+				kern4x4(kc, ap, bp, ct, ldc, nr)
+			default:
+				kern2x4(kc, ap, bp, ct, ldc, nr)
+			}
+		}
+	}
+}

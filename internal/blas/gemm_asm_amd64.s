@@ -1,0 +1,92 @@
+//go:build blasasm && amd64
+
+#include "textflag.h"
+
+// func gemm8x4avx2(kc int, ap, bp, out *float64)
+//
+// 8×4 AVX2 micro-kernel: Y0..Y7 hold the 32 accumulator chains
+// (Y(2j) = rows 0..3 of column j, Y(2j+1) = rows 4..7). Per k step it
+// loads 8 packed A values (two YMM) and broadcasts the 4 packed B values,
+// issuing 8 VMULPD + 8 VADDPD. No FMA: the separate round after the
+// multiply is what keeps this bitwise identical to the portable kernel.
+TEXT ·gemm8x4avx2(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ out+24(FP), DX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	VMOVUPD (SI), Y8    // a[0:4]
+	VMOVUPD 32(SI), Y9  // a[4:8]
+
+	VBROADCASTSD (DI), Y10
+	VMULPD Y10, Y8, Y11
+	VADDPD Y11, Y0, Y0
+	VMULPD Y10, Y9, Y12
+	VADDPD Y12, Y1, Y1
+
+	VBROADCASTSD 8(DI), Y13
+	VMULPD Y13, Y8, Y11
+	VADDPD Y11, Y2, Y2
+	VMULPD Y13, Y9, Y12
+	VADDPD Y12, Y3, Y3
+
+	VBROADCASTSD 16(DI), Y14
+	VMULPD Y14, Y8, Y11
+	VADDPD Y11, Y4, Y4
+	VMULPD Y14, Y9, Y12
+	VADDPD Y12, Y5, Y5
+
+	VBROADCASTSD 24(DI), Y15
+	VMULPD Y15, Y8, Y11
+	VADDPD Y11, Y6, Y6
+	VMULPD Y15, Y9, Y12
+	VADDPD Y12, Y7, Y7
+
+	ADDQ $64, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  loop
+
+store:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VMOVUPD Y4, 128(DX)
+	VMOVUPD Y5, 160(DX)
+	VMOVUPD Y6, 192(DX)
+	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,312 @@
+package blas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// withBlocking runs f under a temporary GEMM blocking configuration.
+func withBlocking(t *testing.T, bk Blocking, f func()) {
+	t.Helper()
+	prev := SetBlocking(bk)
+	defer SetBlocking(prev)
+	f()
+}
+
+// gemmOnce runs one Dgemm over fresh copies of the inputs and returns C.
+func gemmOnce(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) []float64 {
+	cc := append([]float64(nil), c...)
+	Dgemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, cc, ldc)
+	return cc
+}
+
+// TestDgemmFringeAgainstNaive exercises every ragged edge of the blocked
+// driver: dimensions around the register tile (1..9) and around each cache
+// block boundary, padded leading dimensions, special-cased alpha/beta, and
+// all transpose combinations, for every kernel.
+func TestDgemmFringeAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bk := DefaultBlocking()
+	dims := []int{1, 2, 3, 5, 7, 8, 9}
+	for _, edge := range []int{bk.MC, bk.KC, bk.NC} {
+		dims = append(dims, edge-1, edge+1)
+	}
+	kernels := []Kernel{Kernel2x4, Kernel4x4, Kernel8x4, KernelAuto}
+	cases := 0
+	for _, m := range dims {
+		for _, n := range dims {
+			for _, k := range dims {
+				if m*n*k > 1<<21 { // keep the large-edge combinations affordable
+					continue
+				}
+				// Deterministic subsample of the parameter grid to bound runtime.
+				if cases++; cases%7 != 0 && m > 9 && n > 9 {
+					continue
+				}
+				lda, ldb, ldc := m+3, k+2, m+1
+				transA, transB := NoTrans, NoTrans
+				switch cases % 4 {
+				case 1:
+					transA = Trans
+					lda = k + 3
+				case 2:
+					transB = Trans
+					ldb = n + 2
+				case 3:
+					transA, transB = Trans, Trans
+					lda, ldb = k+3, n+2
+				}
+				ra, ca := m, k
+				if transA == Trans {
+					ra, ca = k, m
+				}
+				rb, cb := k, n
+				if transB == Trans {
+					rb, cb = n, k
+				}
+				a := randMat(rng, ra, ca, lda)
+				b := randMat(rng, rb, cb, ldb)
+				c := randMat(rng, m, n, ldc)
+				alpha := []float64{0, 1, -1, 0.5}[cases%4]
+				beta := []float64{0, 1, 2}[cases%3]
+				want := append([]float64(nil), c...)
+				naiveGemm(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, want, ldc)
+				for _, kern := range kernels {
+					var got []float64
+					withBlocking(t, Blocking{Kernel: kern}, func() {
+						got = gemmOnce(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+					})
+					if d := maxDiff(got, want); d > 1e-10*float64(k+1) {
+						t.Fatalf("kernel %v m=%d n=%d k=%d tA=%c tB=%c alpha=%g beta=%g: max diff %g",
+							kern, m, n, k, transA, transB, alpha, beta, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDgemmKernelsBitwiseIdentical checks the central determinism contract:
+// for the default KC, every kernel — including the frozen seed path and,
+// under the blasasm tag, the assembly kernel via KernelAuto — produces
+// bitwise identical output.
+func TestDgemmKernelsBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type shape struct{ m, n, k int }
+	shapes := []shape{
+		{300, 300, 300},
+		{129, 65, 257},
+		{7, 513, 128},
+		{256, 4, 256},
+	}
+	kernels := []Kernel{Kernel2x4, Kernel4x4, Kernel8x4, KernelAuto}
+	for _, s := range shapes {
+		a := randMat(rng, s.m, s.k, s.m)
+		b := randMat(rng, s.k, s.n, s.k)
+		c := randMat(rng, s.m, s.n, s.m)
+		var ref []float64
+		withBlocking(t, Blocking{Kernel: KernelSeed}, func() {
+			ref = gemmOnce(NoTrans, NoTrans, s.m, s.n, s.k, 1.25, a, s.m, b, s.k, 0.5, c, s.m)
+		})
+		for _, kern := range kernels {
+			var got []float64
+			withBlocking(t, Blocking{Kernel: kern}, func() {
+				got = gemmOnce(NoTrans, NoTrans, s.m, s.n, s.k, 1.25, a, s.m, b, s.k, 0.5, c, s.m)
+			})
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("kernel %v shape %v: element %d = %x, seed = %x (not bitwise identical)",
+						kern, s, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDgemmBlockingInvariance checks that MC and NC are numerically
+// neutral: only KC may change results (it splits the accumulation chains),
+// and the default configurations all share KC.
+func TestDgemmBlockingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m, n, k := 200, 180, 300
+	a := randMat(rng, m, k, m)
+	b := randMat(rng, k, n, k)
+	c := randMat(rng, m, n, m)
+	var ref []float64
+	withBlocking(t, DefaultBlocking(), func() {
+		ref = gemmOnce(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 1, c, m)
+	})
+	configs := []Blocking{
+		{MC: 32, NC: 32},
+		{MC: 64, NC: 512},
+		{MC: 8, NC: 8},
+		{MC: 1024, NC: 1024, Kernel: Kernel8x4},
+		{MC: 48, NC: 36, Kernel: Kernel2x4},
+	}
+	for _, bk := range configs {
+		var got []float64
+		withBlocking(t, bk, func() {
+			got = gemmOnce(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 1, c, m)
+		})
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("blocking %+v: element %d differs from default blocking (%x vs %x)",
+					bk, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestSetBlockingNormalizes documents the zero-value semantics: unset
+// fields take the defaults, so a profile can set just the kernel.
+func TestSetBlockingNormalizes(t *testing.T) {
+	prev := SetBlocking(Blocking{Kernel: Kernel2x4})
+	got := CurrentBlocking()
+	SetBlocking(prev)
+	want := Blocking{MC: DefaultMC, KC: DefaultKC, NC: DefaultNC, Kernel: Kernel2x4}
+	if got != want {
+		t.Fatalf("SetBlocking{Kernel:2x4} = %+v, want %+v", got, want)
+	}
+}
+
+func TestKernelStringRoundTrip(t *testing.T) {
+	for _, k := range []Kernel{KernelAuto, Kernel2x4, Kernel4x4, Kernel8x4, KernelSeed} {
+		back, ok := KernelFromString(k.String())
+		if !ok || back != k {
+			t.Fatalf("KernelFromString(%q) = %v, %v", k.String(), back, ok)
+		}
+	}
+	if _, ok := KernelFromString("bogus"); ok {
+		t.Fatal("KernelFromString accepted bogus name")
+	}
+}
+
+// TestDgemmPanelSplitMatchesSerial checks that the worker split over NC
+// panels is numerically inert (bitwise, not just approximately).
+func TestDgemmPanelSplitMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m, n, k := 96, 4*DefaultNC, 64
+	a := randMat(rng, m, k, m)
+	b := randMat(rng, k, n, k)
+	c := randMat(rng, m, n, m)
+	prev := SetParallelism(1)
+	serial := gemmOnce(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+	SetParallelism(4)
+	par := gemmOnce(NoTrans, NoTrans, m, n, k, 1, a, m, b, k, 0, c, m)
+	SetParallelism(prev)
+	for i := range par {
+		if par[i] != serial[i] {
+			t.Fatalf("parallel element %d differs from serial", i)
+		}
+	}
+}
+
+// TestLevel3RoutingAgainstRef checks the blocked Dsyrk/Dsyr2k/Dsymm/Dtrsm
+// paths (sizes above routeBlock, so off-diagonal work routes through Dgemm)
+// against their scalar reference forms.
+func TestLevel3RoutingAgainstRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n, k := routeBlock*2+7, 83
+	for _, uplo := range []Uplo{Upper, Lower} {
+		for _, trans := range []Transpose{NoTrans, Trans} {
+			t.Run(fmt.Sprintf("syrk_%c%c", uplo, trans), func(t *testing.T) {
+				ra, ca := n, k
+				if trans == Trans {
+					ra, ca = k, n
+				}
+				a := randMat(rng, ra, ca, ra)
+				c := randMat(rng, n, n, n)
+				got := append([]float64(nil), c...)
+				Dsyrk(uplo, trans, n, k, 0.75, a, ra, 0.5, got, n)
+				want := append([]float64(nil), c...)
+				scaleTriangle(uplo, n, 0.5, want, n)
+				syrkRef(uplo, trans, n, k, 0.75, a, ra, want, n)
+				if d := maxDiff(got, want); d > 1e-11*float64(k) {
+					t.Fatalf("Dsyrk routed path differs from reference: %g", d)
+				}
+			})
+			t.Run(fmt.Sprintf("syr2k_%c%c", uplo, trans), func(t *testing.T) {
+				ra, ca := n, k
+				if trans == Trans {
+					ra, ca = k, n
+				}
+				a := randMat(rng, ra, ca, ra)
+				b := randMat(rng, ra, ca, ra)
+				c := randMat(rng, n, n, n)
+				got := append([]float64(nil), c...)
+				Dsyr2k(uplo, trans, n, k, -0.5, a, ra, b, ra, 2, got, n)
+				want := append([]float64(nil), c...)
+				scaleTriangle(uplo, n, 2, want, n)
+				syr2kRef(uplo, trans, n, k, -0.5, a, ra, b, ra, want, n)
+				if d := maxDiff(got, want); d > 1e-11*float64(k) {
+					t.Fatalf("Dsyr2k routed path differs from reference: %g", d)
+				}
+			})
+		}
+		for _, side := range []Side{Left, Right} {
+			na := n
+			t.Run(fmt.Sprintf("symm_%c%c", side, uplo), func(t *testing.T) {
+				m2, n2 := n+5, n
+				if side == Right {
+					m2, n2 = n, n+5
+					_ = na
+				}
+				nd := n + 5 // order of the symmetric operand (m2 for Left, n2 for Right)
+				a := randMat(rng, nd, nd, nd)
+				b := randMat(rng, m2, n2, m2)
+				c := randMat(rng, m2, n2, m2)
+				got := append([]float64(nil), c...)
+				Dsymm(side, uplo, m2, n2, 1.5, a, nd, b, m2, 0.25, got, m2)
+				want := append([]float64(nil), c...)
+				for j := 0; j < n2; j++ {
+					for i := 0; i < m2; i++ {
+						want[i+j*m2] *= 0.25
+					}
+				}
+				symmRef(side, uplo, m2, n2, 1.5, a, nd, b, m2, want, m2)
+				if d := maxDiff(got, want); d > 1e-11*float64(nd) {
+					t.Fatalf("Dsymm routed path differs from reference: %g", d)
+				}
+			})
+		}
+	}
+}
+
+// TestDtrsmRecursiveLarge solves a large well-conditioned triangular system
+// through the recursive path and checks the residual of each solve against
+// a Dtrmm round trip.
+func TestDtrsmRecursiveLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Upper, Lower} {
+			for _, trans := range []Transpose{NoTrans, Trans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					m, n := 70, 65
+					na := m
+					if side == Right {
+						na = n
+					}
+					a := randMat(rng, na, na, na)
+					// Small off-diagonals plus a dominant diagonal keep the
+					// solve well conditioned for both Unit and NonUnit (Unit
+					// ignores the stored diagonal entirely).
+					for i := range a {
+						a[i] *= 0.1
+					}
+					for i := 0; i < na; i++ {
+						a[i+i*na] += float64(na)
+					}
+					x := randMat(rng, m, n, m)
+					b := append([]float64(nil), x...)
+					Dtrmm(side, uplo, trans, diag, m, n, 1, a, na, b, m)
+					Dtrsm(side, uplo, trans, diag, m, n, 1, a, na, b, m)
+					if d := maxDiff(b, x); d > 1e-10 {
+						t.Fatalf("side=%c uplo=%c trans=%c diag=%c: Dtrsm∘Dtrmm max diff %g",
+							side, uplo, trans, diag, d)
+					}
+				}
+			}
+		}
+	}
+}

@@ -31,40 +31,94 @@ func Dgemv(trans Transpose, m, n int, alpha float64, a []float64, lda int, x []f
 	case NoTrans:
 		// y += alpha * A * x, traversing A by columns.
 		ix := startIdx(n, incX)
+		if incY == 1 {
+			// Fast path: fuse four column axpys per pass over y, so each
+			// y element is loaded and stored once per four columns instead
+			// of once per column.
+			yy := y[:m]
+			j := 0
+			for ; j+3 < n; j += 4 {
+				t0 := alpha * x[ix]
+				t1 := alpha * x[ix+incX]
+				t2 := alpha * x[ix+2*incX]
+				t3 := alpha * x[ix+3*incX]
+				ix += 4 * incX
+				c0 := a[(j+0)*lda : (j+0)*lda+m]
+				c1 := a[(j+1)*lda : (j+1)*lda+m]
+				c2 := a[(j+2)*lda : (j+2)*lda+m]
+				c3 := a[(j+3)*lda : (j+3)*lda+m]
+				for i, v := range c0 {
+					yy[i] += t0*v + t1*c1[i] + t2*c2[i] + t3*c3[i]
+				}
+			}
+			for ; j < n; j++ {
+				t := alpha * x[ix]
+				ix += incX
+				if t != 0 {
+					col := a[j*lda : j*lda+m]
+					for i, v := range col {
+						yy[i] += t * v
+					}
+				}
+			}
+			return
+		}
 		for j := 0; j < n; j++ {
 			t := alpha * x[ix]
 			ix += incX
 			if t != 0 {
 				col := a[j*lda : j*lda+m]
-				if incY == 1 {
-					for i, v := range col {
-						y[i] += t * v
-					}
-				} else {
-					iy := startIdx(m, incY)
-					for i := 0; i < m; i++ {
-						y[iy] += t * col[i]
-						iy += incY
-					}
+				iy := startIdx(m, incY)
+				for i := 0; i < m; i++ {
+					y[iy] += t * col[i]
+					iy += incY
 				}
 			}
 		}
 	case Trans:
 		// y += alpha * Aᵀ * x: each column of A dotted with x.
 		iy := startIdx(n, incY)
+		if incX == 1 {
+			// Fast path: four simultaneous dot products share each load
+			// of x.
+			xx := x[:m]
+			j := 0
+			for ; j+3 < n; j += 4 {
+				c0 := a[(j+0)*lda : (j+0)*lda+m]
+				c1 := a[(j+1)*lda : (j+1)*lda+m]
+				c2 := a[(j+2)*lda : (j+2)*lda+m]
+				c3 := a[(j+3)*lda : (j+3)*lda+m]
+				var s0, s1, s2, s3 float64
+				for i, xv := range xx {
+					s0 += c0[i] * xv
+					s1 += c1[i] * xv
+					s2 += c2[i] * xv
+					s3 += c3[i] * xv
+				}
+				y[iy] += alpha * s0
+				y[iy+incY] += alpha * s1
+				y[iy+2*incY] += alpha * s2
+				y[iy+3*incY] += alpha * s3
+				iy += 4 * incY
+			}
+			for ; j < n; j++ {
+				col := a[j*lda : j*lda+m]
+				var sum float64
+				for i, v := range col {
+					sum += v * xx[i]
+				}
+				y[iy] += alpha * sum
+				iy += incY
+			}
+			return
+		}
 		for j := 0; j < n; j++ {
 			col := a[j*lda : j*lda+m]
 			var sum float64
-			if incX == 1 {
-				for i, v := range col {
-					sum += v * x[i]
-				}
-			} else {
-				ix := startIdx(m, incX)
-				for i := 0; i < m; i++ {
-					sum += col[i] * x[ix]
-					ix += incX
-				}
+			ix := startIdx(m, incX)
+			for i := 0; i < m; i++ {
+				sum += col[i] * x[ix]
+				ix += incX
 			}
 			y[iy] += alpha * sum
 			iy += incY
@@ -110,31 +164,55 @@ func Dsymv(uplo Uplo, n int, alpha float64, a []float64, lda int, x []float64, i
 		}
 		return
 	}
+	// Each stored column j contributes an axpy into y (the column itself)
+	// and a dot product against x (its mirrored row). The inner loops are
+	// unrolled four ways with two independent partial sums so the fused
+	// multiply chains do not serialize on a single accumulator.
 	switch uplo {
 	case Lower:
 		for j := 0; j < n; j++ {
 			t := alpha * x[j]
-			var sum float64
 			col := a[j*lda:]
 			y[j] += t * col[j]
-			for i := j + 1; i < n; i++ {
+			var s0, s1 float64
+			i := j + 1
+			for ; i+3 < n; i += 4 {
+				v0, v1, v2, v3 := col[i], col[i+1], col[i+2], col[i+3]
+				y[i] += t * v0
+				y[i+1] += t * v1
+				y[i+2] += t * v2
+				y[i+3] += t * v3
+				s0 += v0*x[i] + v1*x[i+1]
+				s1 += v2*x[i+2] + v3*x[i+3]
+			}
+			for ; i < n; i++ {
 				v := col[i]
 				y[i] += t * v
-				sum += v * x[i]
+				s0 += v * x[i]
 			}
-			y[j] += alpha * sum
+			y[j] += alpha * (s0 + s1)
 		}
 	case Upper:
 		for j := 0; j < n; j++ {
 			t := alpha * x[j]
-			var sum float64
 			col := a[j*lda:]
-			for i := 0; i < j; i++ {
+			var s0, s1 float64
+			i := 0
+			for ; i+3 < j; i += 4 {
+				v0, v1, v2, v3 := col[i], col[i+1], col[i+2], col[i+3]
+				y[i] += t * v0
+				y[i+1] += t * v1
+				y[i+2] += t * v2
+				y[i+3] += t * v3
+				s0 += v0*x[i] + v1*x[i+1]
+				s1 += v2*x[i+2] + v3*x[i+3]
+			}
+			for ; i < j; i++ {
 				v := col[i]
 				y[i] += t * v
-				sum += v * x[i]
+				s0 += v * x[i]
 			}
-			y[j] += t*col[j] + alpha*sum
+			y[j] += t*col[j] + alpha*(s0+s1)
 		}
 	default:
 		panic(badParam("dsymv", "uplo"))

@@ -1,237 +1,17 @@
 package blas
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+// The symmetric and triangular Level 3 routines are thin block
+// decompositions over Dgemm: only small diagonal blocks (and the
+// substitution base cases of Dtrsm) run scalar loops; all O(n²·k) bulk work
+// goes through the packed register-blocked GEMM kernels. The block size and
+// recursion cutoffs are compile-time constants so the decomposition — and
+// therefore the floating-point result — never depends on the runtime
+// Blocking configuration.
 
-// parallelism is the number of goroutines Dgemm may fan out to. It defaults
-// to GOMAXPROCS and may be changed with SetParallelism. The eigensolver's
-// task scheduler usually wants this set to 1 so that parallelism is
-// extracted at the task level instead of inside individual kernels.
-var parallelism int64 = int64(runtime.GOMAXPROCS(0))
-
-// SetParallelism sets the maximum number of goroutines the Level 3 kernels
-// may use internally and returns the previous value. n < 1 is treated as 1.
-func SetParallelism(n int) int {
-	if n < 1 {
-		n = 1
-	}
-	return int(atomic.SwapInt64(&parallelism, int64(n)))
-}
-
-// Parallelism reports the current Level 3 kernel parallelism.
-func Parallelism() int { return int(atomic.LoadInt64(&parallelism)) }
-
-// Block sizes for the cache-blocked Dgemm micro-kernel. The kernel computes
-// C[mc×nc] += A[mc×kc]·B[kc×nc] with A packed row-panel-wise so the inner
-// loops stream contiguously.
-const (
-	gemmMC = 128
-	gemmKC = 128
-	gemmNC = 64
-)
-
-// Dgemm computes C := alpha*op(A)*op(B) + beta*C where op(A) is m×k and
-// op(B) is k×n, all column-major.
-func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
-	rowA, colA := m, k
-	if transA == Trans {
-		rowA, colA = k, m
-	}
-	rowB, colB := k, n
-	if transB == Trans {
-		rowB, colB = n, k
-	}
-	checkMatrix("dgemm", rowA, colA, a, lda)
-	checkMatrix("dgemm", rowB, colB, b, ldb)
-	checkMatrix("dgemm", m, n, c, ldc)
-	if m == 0 || n == 0 {
-		return
-	}
-	if beta != 1 {
-		for j := 0; j < n; j++ {
-			col := c[j*ldc : j*ldc+m]
-			if beta == 0 {
-				for i := range col {
-					col[i] = 0
-				}
-			} else {
-				for i := range col {
-					col[i] *= beta
-				}
-			}
-		}
-	}
-	if alpha == 0 || k == 0 {
-		return
-	}
-
-	p := Parallelism()
-	if p > 1 && n >= 2*gemmNC && int64(m)*int64(n)*int64(k) > 1<<18 {
-		// Split C into column panels; each panel is an independent gemm.
-		panels := (n + gemmNC - 1) / gemmNC
-		if p > panels {
-			p = panels
-		}
-		var wg sync.WaitGroup
-		var next int64
-		for w := 0; w < p; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					j := int(atomic.AddInt64(&next, 1)-1) * gemmNC
-					if j >= n {
-						return
-					}
-					jn := min(gemmNC, n-j)
-					var bsub []float64
-					if transB == NoTrans {
-						bsub = b[j*ldb:]
-					} else {
-						bsub = b[j:]
-					}
-					gemmSerial(transA, transB, m, jn, k, alpha, a, lda, bsub, ldb, c[j*ldc:], ldc)
-				}
-			}()
-		}
-		wg.Wait()
-		return
-	}
-	gemmSerial(transA, transB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
-}
-
-// packPool recycles the A-packing buffers; tile kernels issue millions of
-// small gemms and a fresh 128×128 buffer per call would dominate their cost.
-var packPool = sync.Pool{
-	New: func() interface{} {
-		buf := make([]float64, gemmMC*gemmKC)
-		return &buf
-	},
-}
-
-// gemmSerial computes C += alpha*op(A)*op(B) (beta already applied) with
-// cache blocking.
-func gemmSerial(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	// Pack a kc×mc block of op(A) transposed into apack so that the
-	// micro-kernel reads it with stride 1 along k.
-	bufp := packPool.Get().(*[]float64)
-	defer packPool.Put(bufp)
-	apack := *bufp
-	for kk := 0; kk < k; kk += gemmKC {
-		kc := min(gemmKC, k-kk)
-		for ii := 0; ii < m; ii += gemmMC {
-			mc := min(gemmMC, m-ii)
-			// apack[l + i*kc] = op(A)[ii+i, kk+l]
-			if transA == NoTrans {
-				for i := 0; i < mc; i++ {
-					for l := 0; l < kc; l++ {
-						apack[l+i*kc] = a[(ii+i)+(kk+l)*lda]
-					}
-				}
-			} else {
-				for i := 0; i < mc; i++ {
-					col := a[(ii+i)*lda:]
-					copy(apack[i*kc:i*kc+kc], col[kk:kk+kc])
-				}
-			}
-			for jj := 0; jj < n; jj += gemmNC {
-				nc := min(gemmNC, n-jj)
-				gemmMicro(transB, mc, nc, kc, alpha, apack, b, ldb, kk, jj, c[ii+jj*ldc:], ldc)
-			}
-		}
-	}
-}
-
-// gemmMicro computes the mc×nc block update using the packed A block with a
-// 2×4 register-blocked inner kernel: two rows of packed A against four
-// packed columns of op(B) give eight independent accumulator chains, which
-// keeps the FPU pipeline full and reuses every load four times.
-func gemmMicro(transB Transpose, mc, nc, kc int, alpha float64, apack []float64, b []float64, ldb int, kk, jj int, c []float64, ldc int) {
-	var bpack [4 * gemmKC]float64
-	packB := func(j, w int) {
-		for q := 0; q < w; q++ {
-			dst := bpack[q*kc : q*kc+kc]
-			if transB == NoTrans {
-				src := b[(jj+j+q)*ldb+kk:]
-				for l := 0; l < kc; l++ {
-					dst[l] = alpha * src[l]
-				}
-			} else {
-				for l := 0; l < kc; l++ {
-					dst[l] = alpha * b[(jj+j+q)+(kk+l)*ldb]
-				}
-			}
-		}
-	}
-	j := 0
-	for ; j+3 < nc; j += 4 {
-		packB(j, 4)
-		b0 := bpack[0*kc : 0*kc+kc]
-		b1 := bpack[1*kc : 1*kc+kc]
-		b2 := bpack[2*kc : 2*kc+kc]
-		b3 := bpack[3*kc : 3*kc+kc]
-		c0 := c[(j+0)*ldc:]
-		c1 := c[(j+1)*ldc:]
-		c2 := c[(j+2)*ldc:]
-		c3 := c[(j+3)*ldc:]
-		i := 0
-		for ; i+1 < mc; i += 2 {
-			a0 := apack[i*kc : i*kc+kc]
-			a1 := apack[(i+1)*kc : (i+1)*kc+kc]
-			var s00, s01, s02, s03, s10, s11, s12, s13 float64
-			for l := 0; l < kc; l++ {
-				av0, av1 := a0[l], a1[l]
-				s00 += av0 * b0[l]
-				s01 += av0 * b1[l]
-				s02 += av0 * b2[l]
-				s03 += av0 * b3[l]
-				s10 += av1 * b0[l]
-				s11 += av1 * b1[l]
-				s12 += av1 * b2[l]
-				s13 += av1 * b3[l]
-			}
-			c0[i] += s00
-			c1[i] += s01
-			c2[i] += s02
-			c3[i] += s03
-			c0[i+1] += s10
-			c1[i+1] += s11
-			c2[i+1] += s12
-			c3[i+1] += s13
-		}
-		if i < mc {
-			a0 := apack[i*kc : i*kc+kc]
-			var s0, s1, s2, s3 float64
-			for l := 0; l < kc; l++ {
-				av := a0[l]
-				s0 += av * b0[l]
-				s1 += av * b1[l]
-				s2 += av * b2[l]
-				s3 += av * b3[l]
-			}
-			c0[i] += s0
-			c1[i] += s1
-			c2[i] += s2
-			c3[i] += s3
-		}
-	}
-	for ; j < nc; j++ {
-		packB(j, 1)
-		b0 := bpack[:kc]
-		ccol := c[j*ldc : j*ldc+mc]
-		for i := 0; i < mc; i++ {
-			arow := apack[i*kc : i*kc+kc]
-			var sum float64
-			for l, av := range arow {
-				sum += av * b0[l]
-			}
-			ccol[i] += sum
-		}
-	}
-}
+// routeBlock is the diagonal-block edge of the Dsyrk/Dsyr2k/Dsymm
+// decompositions: matrices at or below this order run the reference scalar
+// loops outright.
+const routeBlock = 64
 
 // Dsyrk computes C := alpha*op(A)*op(A)ᵀ + beta*C updating only the triangle
 // of C selected by uplo. op(A) is n×k.
@@ -249,6 +29,39 @@ func Dsyrk(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, lda
 	if alpha == 0 || k == 0 {
 		return
 	}
+	if n <= routeBlock {
+		syrkRef(uplo, trans, n, k, alpha, a, lda, c, ldc)
+		return
+	}
+	for jb := 0; jb < n; jb += routeBlock {
+		nb := min(routeBlock, n-jb)
+		// Diagonal block: scalar reference loops on the nb×nb sub-triangle.
+		if trans == NoTrans {
+			syrkRef(uplo, trans, nb, k, alpha, a[jb:], lda, c[jb+jb*ldc:], ldc)
+		} else {
+			syrkRef(uplo, trans, nb, k, alpha, a[jb*lda:], lda, c[jb+jb*ldc:], ldc)
+		}
+		// Off-diagonal panel: one rectangular GEMM per block column.
+		if uplo == Lower && jb+nb < n {
+			rows := n - jb - nb
+			if trans == NoTrans {
+				Dgemm(NoTrans, Trans, rows, nb, k, alpha, a[jb+nb:], lda, a[jb:], lda, 1, c[jb+nb+jb*ldc:], ldc)
+			} else {
+				Dgemm(Trans, NoTrans, rows, nb, k, alpha, a[(jb+nb)*lda:], lda, a[jb*lda:], lda, 1, c[jb+nb+jb*ldc:], ldc)
+			}
+		} else if uplo == Upper && jb > 0 {
+			if trans == NoTrans {
+				Dgemm(NoTrans, Trans, jb, nb, k, alpha, a, lda, a[jb:], lda, 1, c[jb*ldc:], ldc)
+			} else {
+				Dgemm(Trans, NoTrans, jb, nb, k, alpha, a, lda, a[jb*lda:], lda, 1, c[jb*ldc:], ldc)
+			}
+		}
+	}
+}
+
+// syrkRef is the scalar triangle update (the pre-rework Dsyrk body), used
+// for small problems and diagonal blocks.
+func syrkRef(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, lda int, c []float64, ldc int) {
 	if trans == NoTrans {
 		// Stream columns: C[:,j] += alpha·A[j,l]·A[:,l] per l.
 		for j := 0; j < n; j++ {
@@ -302,6 +115,43 @@ func Dsyr2k(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, ld
 	if alpha == 0 || k == 0 {
 		return
 	}
+	if n <= routeBlock {
+		syr2kRef(uplo, trans, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	for jb := 0; jb < n; jb += routeBlock {
+		nb := min(routeBlock, n-jb)
+		if trans == NoTrans {
+			syr2kRef(uplo, trans, nb, k, alpha, a[jb:], lda, b[jb:], ldb, c[jb+jb*ldc:], ldc)
+		} else {
+			syr2kRef(uplo, trans, nb, k, alpha, a[jb*lda:], lda, b[jb*ldb:], ldb, c[jb+jb*ldc:], ldc)
+		}
+		if uplo == Lower && jb+nb < n {
+			rows := n - jb - nb
+			cblk := c[jb+nb+jb*ldc:]
+			if trans == NoTrans {
+				Dgemm(NoTrans, Trans, rows, nb, k, alpha, a[jb+nb:], lda, b[jb:], ldb, 1, cblk, ldc)
+				Dgemm(NoTrans, Trans, rows, nb, k, alpha, b[jb+nb:], ldb, a[jb:], lda, 1, cblk, ldc)
+			} else {
+				Dgemm(Trans, NoTrans, rows, nb, k, alpha, a[(jb+nb)*lda:], lda, b[jb*ldb:], ldb, 1, cblk, ldc)
+				Dgemm(Trans, NoTrans, rows, nb, k, alpha, b[(jb+nb)*ldb:], ldb, a[jb*lda:], lda, 1, cblk, ldc)
+			}
+		} else if uplo == Upper && jb > 0 {
+			cblk := c[jb*ldc:]
+			if trans == NoTrans {
+				Dgemm(NoTrans, Trans, jb, nb, k, alpha, a, lda, b[jb:], ldb, 1, cblk, ldc)
+				Dgemm(NoTrans, Trans, jb, nb, k, alpha, b, ldb, a[jb:], lda, 1, cblk, ldc)
+			} else {
+				Dgemm(Trans, NoTrans, jb, nb, k, alpha, a, lda, b[jb*ldb:], ldb, 1, cblk, ldc)
+				Dgemm(Trans, NoTrans, jb, nb, k, alpha, b, ldb, a[jb*lda:], lda, 1, cblk, ldc)
+			}
+		}
+	}
+}
+
+// syr2kRef is the scalar rank-2k triangle update (the pre-rework Dsyr2k
+// body), used for small problems and diagonal blocks.
+func syr2kRef(uplo Uplo, trans Transpose, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	if trans == NoTrans {
 		// Stream columns: C[:,j] += alpha·(B[j,l]·A[:,l] + A[j,l]·B[:,l]).
 		for j := 0; j < n; j++ {
@@ -577,6 +427,10 @@ func Dtrmm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha flo
 
 // Dtrsm solves op(A)*X = alpha*B (side Left) or X*op(A) = alpha*B (side
 // Right) for X, overwriting B. A is triangular.
+//
+// Like Dtrmm, large triangles are split recursively so the off-diagonal
+// half of the work runs as a rectangular Dgemm update; only diagonal blocks
+// of at most trsmBase run the scalar substitution loops.
 func Dtrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
 	na := m
 	if side == Right {
@@ -587,6 +441,92 @@ func Dtrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha flo
 	if m == 0 || n == 0 {
 		return
 	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] *= alpha
+			}
+		}
+	}
+	trsmRec(side, uplo, trans, diag, m, n, a, lda, b, ldb)
+}
+
+// trsmBase is the largest triangle solved by direct substitution; above it
+// the solve splits and the coupling block goes through Dgemm.
+const trsmBase = 24
+
+// trsmRec solves op(A)*X = B or X*op(A) = B in place (alpha already
+// applied).
+func trsmRec(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, a []float64, lda int, b []float64, ldb int) {
+	na := m
+	if side == Right {
+		na = n
+	}
+	if na <= 2*trsmBase {
+		trsmBaseCase(side, uplo, trans, diag, m, n, a, lda, b, ldb)
+		return
+	}
+	h := na / 2
+	a11 := a
+	a22 := a[h+h*lda:]
+	// lower reports whether the effective operator op(A) is lower
+	// triangular (forward substitution order).
+	lower := (uplo == Lower && trans == NoTrans) || (uplo == Upper && trans == Trans)
+	if side == Left {
+		b1 := b
+		b2 := b[h:]
+		if lower {
+			// [L11 0; L21 L22]·[X1; X2] = [B1; B2]:
+			// X1 first, eliminate the coupling, then X2.
+			trsmRec(side, uplo, trans, diag, h, n, a11, lda, b1, ldb)
+			if uplo == Lower {
+				Dgemm(NoTrans, NoTrans, m-h, n, h, -1, a[h:], lda, b1, ldb, 1, b2, ldb)
+			} else { // Upper, Trans: L21 = A12ᵀ
+				Dgemm(Trans, NoTrans, m-h, n, h, -1, a[h*lda:], lda, b1, ldb, 1, b2, ldb)
+			}
+			trsmRec(side, uplo, trans, diag, m-h, n, a22, lda, b2, ldb)
+			return
+		}
+		// [U11 U12; 0 U22]: X2 first (backward substitution).
+		trsmRec(side, uplo, trans, diag, m-h, n, a22, lda, b2, ldb)
+		if uplo == Upper {
+			Dgemm(NoTrans, NoTrans, h, n, m-h, -1, a[h*lda:], lda, b2, ldb, 1, b1, ldb)
+		} else { // Lower, Trans: U12 = A21ᵀ
+			Dgemm(Trans, NoTrans, h, n, m-h, -1, a[h:], lda, b2, ldb, 1, b1, ldb)
+		}
+		trsmRec(side, uplo, trans, diag, h, n, a11, lda, b1, ldb)
+		return
+	}
+	// side == Right: [X1 X2]·op(A) = [B1 B2] over column blocks of B.
+	b1 := b
+	b2 := b[h*ldb:]
+	if lower {
+		// op(A) = [L11 0; L21 L22]: X2·L22 = B2 first, then
+		// X1·L11 = B1 - X2·L21.
+		trsmRec(side, uplo, trans, diag, m, n-h, a22, lda, b2, ldb)
+		if uplo == Lower {
+			Dgemm(NoTrans, NoTrans, m, h, n-h, -1, b2, ldb, a[h:], lda, 1, b1, ldb)
+		} else { // Upper, Trans: L21 = A12ᵀ
+			Dgemm(NoTrans, Trans, m, h, n-h, -1, b2, ldb, a[h*lda:], lda, 1, b1, ldb)
+		}
+		trsmRec(side, uplo, trans, diag, m, h, a11, lda, b1, ldb)
+		return
+	}
+	// op(A) = [U11 U12; 0 U22]: X1·U11 = B1 first, then
+	// X2·U22 = B2 - X1·U12.
+	trsmRec(side, uplo, trans, diag, m, h, a11, lda, b1, ldb)
+	if uplo == Upper {
+		Dgemm(NoTrans, NoTrans, m, n-h, h, -1, b1, ldb, a[h*lda:], lda, 1, b2, ldb)
+	} else { // Lower, Trans: U12 = A21ᵀ
+		Dgemm(NoTrans, Trans, m, n-h, h, -1, b1, ldb, a[h:], lda, 1, b2, ldb)
+	}
+	trsmRec(side, uplo, trans, diag, m, n-h, a22, lda, b2, ldb)
+}
+
+// trsmBaseCase solves the triangle by direct substitution (the pre-rework
+// Dtrsm body with alpha pre-applied).
+func trsmBaseCase(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, a []float64, lda int, b []float64, ldb int) {
 	unit := diag == Unit
 	aval := func(i, j int) float64 {
 		if trans == Trans {
@@ -596,14 +536,6 @@ func Dtrsm(side Side, uplo Uplo, trans Transpose, diag Diag, m, n int, alpha flo
 			return 0
 		}
 		return a[i+j*lda]
-	}
-	if alpha != 1 {
-		for j := 0; j < n; j++ {
-			col := b[j*ldb : j*ldb+m]
-			for i := range col {
-				col[i] *= alpha
-			}
-		}
 	}
 	if side == Left {
 		// Solve op(A) X = B column by column via substitution. Effective
@@ -712,6 +644,68 @@ func Dsymm(side Side, uplo Uplo, m, n int, alpha float64, a []float64, lda int, 
 	if alpha == 0 {
 		return
 	}
+	if na > routeBlock {
+		symmBlocked(side, uplo, m, n, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	symmRef(side, uplo, m, n, alpha, a, lda, b, ldb, c, ldc)
+}
+
+// symmBlocked decomposes the symmetric operand into routeBlock×routeBlock
+// blocks: stored off-diagonal blocks multiply through Dgemm directly (or
+// transposed, for the unstored triangle), and diagonal blocks are expanded
+// symmetrically into a stack tile first, so all bulk work runs on the
+// packed kernels.
+func symmBlocked(side Side, uplo Uplo, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	var diag [routeBlock * routeBlock]float64
+	na := m
+	if side == Right {
+		na = n
+	}
+	for ib := 0; ib < na; ib += routeBlock {
+		bi := min(routeBlock, na-ib)
+		for lb := 0; lb < na; lb += routeBlock {
+			bl := min(routeBlock, na-lb)
+			// Find the stored form of block A[ib:ib+bi, lb:lb+bl].
+			var blk []float64
+			ldblk := lda
+			tr := NoTrans
+			switch {
+			case ib == lb:
+				// Diagonal block: expand the stored triangle.
+				for j := 0; j < bl; j++ {
+					for i := 0; i < bi; i++ {
+						diag[i+j*routeBlock] = symAt(uplo, a, lda, ib+i, lb+j)
+					}
+				}
+				blk = diag[:]
+				ldblk = routeBlock
+			case (uplo == Lower && ib > lb) || (uplo == Upper && ib < lb):
+				blk = a[ib+lb*lda:]
+			default:
+				// Unstored triangle: use the transpose of the mirror block.
+				blk = a[lb+ib*lda:]
+				tr = Trans
+			}
+			if side == Left {
+				// C[ib:, :] += alpha · A(ib,lb) · B[lb:, :].
+				Dgemm(tr, NoTrans, bi, n, bl, alpha, blk, ldblk, b[lb:], ldb, 1, c[ib:], ldc)
+			} else {
+				// C[:, ib:] += alpha · B[:, lb:] · A(lb,ib).
+				// A(lb,ib) is the transpose of the block we looked up.
+				opp := Trans
+				if tr == Trans {
+					opp = NoTrans
+				}
+				Dgemm(NoTrans, opp, m, bi, bl, alpha, b[lb*ldb:], ldb, blk, ldblk, 1, c[ib*ldc:], ldc)
+			}
+		}
+	}
+}
+
+// symmRef is the scalar reference (the pre-rework Dsymm body), used for
+// small operands.
+func symmRef(side Side, uplo Uplo, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
 	if side == Left {
 		for j := 0; j < n; j++ {
 			bcol := b[j*ldb : j*ldb+m]

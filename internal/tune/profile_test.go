@@ -1,0 +1,140 @@
+package tune
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func validProfile() *Profile {
+	p := NewProfile()
+	p.Gemm = GemmConfig{MC: 192, KC: RequiredKC, NC: 768, Kernel: "2x4"}
+	p.NB = 48
+	p.ColBlock = 96
+	p.AlphaFlops = 5e9
+	p.BetaFlops = 1e9
+	p.ModelNB = 44
+	return p
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "tune.json")
+	want := validProfile()
+	if err := want.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if *got != *want {
+		t.Errorf("round trip changed profile:\n got %+v\nwant %+v", *got, *want)
+	}
+	// No temp litter left behind by the atomic write.
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("profile dir has %d entries, want 1 (no temp files)", len(ents))
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"version", func(p *Profile) { p.Version = ProfileVersion + 1 }},
+		{"goos", func(p *Profile) { p.GOOS = p.GOOS + "x" }},
+		{"goarch", func(p *Profile) { p.GOARCH = "wasm" }},
+		{"numcpu", func(p *Profile) { p.NumCPU = runtime.NumCPU() + 1 }},
+		{"kc", func(p *Profile) { p.Gemm.KC = RequiredKC * 2 }},
+		{"kernel", func(p *Profile) { p.Gemm.Kernel = "16x16" }},
+		{"negative-nb", func(p *Profile) { p.NB = -1 }},
+		{"negative-mc", func(p *Profile) { p.Gemm.MC = -5 }},
+	}
+	for _, tc := range cases {
+		p := validProfile()
+		tc.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid profile %+v", tc.name, *p)
+		}
+		// Save must refuse to persist what Load would reject.
+		if err := p.Save(filepath.Join(t.TempDir(), "tune.json")); err == nil {
+			t.Errorf("%s: Save persisted an invalid profile", tc.name)
+		}
+	}
+	p := validProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	// Unset KC and kernel are valid (defer to defaults).
+	p.Gemm.KC = 0
+	p.Gemm.Kernel = ""
+	if err := p.Validate(); err != nil {
+		t.Errorf("zero KC/kernel rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.json")
+	p := validProfile()
+	p.NumCPU = runtime.NumCPU() + 7
+	// Bypass Save's validation to simulate a profile tuned on another box.
+	if err := os.WriteFile(path, mustJSON(t, p), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Load(path); err == nil {
+		t.Errorf("Load accepted hardware-mismatched profile %+v", got)
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load accepted malformed JSON")
+	}
+}
+
+func TestDefaultPathEnvOverride(t *testing.T) {
+	t.Setenv(ProfileEnv, "/some/where/tune.json")
+	got, err := DefaultPath()
+	if err != nil || got != "/some/where/tune.json" {
+		t.Errorf("DefaultPath with env = %q, %v", got, err)
+	}
+}
+
+func TestCachedUsesEnvPathAndInvalidate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.json")
+	t.Setenv(ProfileEnv, path)
+	InvalidateCache()
+	t.Cleanup(InvalidateCache)
+
+	if p := Cached(); p != nil {
+		t.Fatalf("Cached returned %+v for a missing file", p)
+	}
+	want := validProfile()
+	if err := want.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// The negative result is cached until invalidated.
+	if p := Cached(); p != nil {
+		t.Fatalf("Cached re-read disk without InvalidateCache")
+	}
+	InvalidateCache()
+	got := Cached()
+	if got == nil || *got != *want {
+		t.Errorf("Cached after save = %+v, want %+v", got, want)
+	}
+}
+
+func mustJSON(t *testing.T, p *Profile) []byte {
+	t.Helper()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -34,3 +34,18 @@ go test -race -run 'TestSolveBatchPipeline|TestSolveBatchReentrant|TestPipeline|
 # (MaxIterQL=0 leaves, infinite-pivot Stein clusters) through the error latch,
 # mid-solve cancellation, and the driver-level worker sweeps.
 go test -race -run 'TestStedcSched|TestStebzSched|TestSteinSched|TestSchedAffinity|TestParallelTridiag' ./internal/tridiag ./internal/core
+
+# The GEMM kernel rework, under BOTH build-tag configurations: the portable
+# kernels (default build) and the assembly kernel (-tags blasasm, inert on
+# non-AVX2 hosts where it falls back to the portable 8x4). The suite pins the
+# packed kernels against naiveGemm on fringe shapes and checks every kernel —
+# including the assembly one when active — bitwise against the frozen seed
+# kernel.
+go test ./internal/blas
+go test -tags blasasm ./internal/blas
+
+# The tune-profile round trip (save -> load at Solver construction ->
+# bitwise-identical solve), the Options override/kill-switch ladder, and the
+# schema/hardware validation that rejects stale or foreign profiles.
+go test -run 'TestTuneProfileRoundTripSolve|TestTuning' .
+go test ./internal/tune

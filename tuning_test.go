@@ -1,0 +1,132 @@
+package eigen
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/tune"
+)
+
+// neutralProfile returns a valid profile that moves every numerically-neutral
+// knob off its default: different cache blocking (KC pinned), an explicit
+// kernel, and a non-default column block. NB is left unset — it is the one
+// knob that legitimately changes the computed basis, so the bitwise gate
+// exercises everything else.
+func neutralProfile() *tune.Profile {
+	p := tune.NewProfile()
+	p.Gemm = tune.GemmConfig{MC: 96, KC: tune.RequiredKC, NC: 256, Kernel: "4x4"}
+	p.ColBlock = 48
+	return p
+}
+
+// solveOnce runs one full eigensolve and returns values and the flattened
+// eigenvector matrix.
+func solveOnce(t *testing.T, a *Matrix, opts *Options) ([]float64, []float64) {
+	t.Helper()
+	res, err := Eig(a, opts)
+	if err != nil {
+		t.Fatalf("Eig: %v", err)
+	}
+	return res.Values, res.Vectors.data
+}
+
+// TestTuneProfileRoundTripSolve is the check.sh round-trip gate: save a
+// profile, load it through the Solver's normal construction path (via
+// EIGEN_TUNE_PROFILE), and require the solve to be bitwise identical to an
+// untuned one.
+func TestTuneProfileRoundTripSolve(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.json")
+	t.Setenv(tune.ProfileEnv, path)
+	tune.InvalidateCache()
+	t.Cleanup(func() {
+		tune.InvalidateCache()
+		blas.SetBlocking(blas.DefaultBlocking())
+	})
+
+	if err := neutralProfile().Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := tune.Load(path)
+	if err != nil {
+		t.Fatalf("Load after Save: %v", err)
+	}
+	if *got != *neutralProfile() {
+		t.Fatalf("profile did not survive the disk round trip: %+v", *got)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	a := randSymMatrix(rng, 65)
+
+	// Baseline: tuning disabled, stock blocking.
+	blas.SetBlocking(blas.DefaultBlocking())
+	vals0, vecs0 := solveOnce(t, a, &Options{DisableTuning: true})
+
+	// Tuned: the profile is picked up from disk at Solver construction.
+	tune.InvalidateCache()
+	vals1, vecs1 := solveOnce(t, a, nil)
+	if cb := blas.CurrentBlocking(); cb.MC != 96 || cb.NC != 256 || cb.Kernel != blas.Kernel4x4 {
+		t.Fatalf("profile not applied to GEMM blocking: %+v", cb)
+	}
+
+	for i := range vals0 {
+		if vals0[i] != vals1[i] {
+			t.Fatalf("eigenvalue %d differs with profile: %v vs %v", i, vals0[i], vals1[i])
+		}
+	}
+	for i := range vecs0 {
+		if vecs0[i] != vecs1[i] {
+			t.Fatalf("eigenvector element %d differs with profile: %v vs %v", i, vecs0[i], vecs1[i])
+		}
+	}
+}
+
+// TestTuningOptionsPrecedence checks the override ladder: explicit Options
+// beat the profile, the profile beats defaults, and DisableTuning beats
+// everything.
+func TestTuningOptionsPrecedence(t *testing.T) {
+	t.Cleanup(func() { blas.SetBlocking(blas.DefaultBlocking()) })
+	p := neutralProfile()
+	p.NB = 40
+
+	s := NewSolver(&Options{Tuning: p})
+	defer s.Close()
+	if s.opts.NB != 40 || s.opts.ColBlock != 48 {
+		t.Errorf("profile defaults not applied: NB=%d ColBlock=%d", s.opts.NB, s.opts.ColBlock)
+	}
+
+	s2 := NewSolver(&Options{Tuning: p, NB: 32, ColBlock: 64})
+	defer s2.Close()
+	if s2.opts.NB != 32 || s2.opts.ColBlock != 64 {
+		t.Errorf("explicit options lost to profile: NB=%d ColBlock=%d", s2.opts.NB, s2.opts.ColBlock)
+	}
+
+	blas.SetBlocking(blas.DefaultBlocking())
+	s3 := NewSolver(&Options{Tuning: p, DisableTuning: true})
+	defer s3.Close()
+	if s3.opts.NB != 0 || s3.opts.ColBlock != 0 {
+		t.Errorf("DisableTuning still applied profile: NB=%d ColBlock=%d", s3.opts.NB, s3.opts.ColBlock)
+	}
+	if cb := blas.CurrentBlocking(); cb != blas.DefaultBlocking() {
+		t.Errorf("DisableTuning still changed blocking: %+v", cb)
+	}
+}
+
+// TestTuningInvalidProfileIgnored: a hardware-mismatched profile must be
+// silently skipped, never break construction.
+func TestTuningInvalidProfileIgnored(t *testing.T) {
+	t.Cleanup(func() { blas.SetBlocking(blas.DefaultBlocking()) })
+	blas.SetBlocking(blas.DefaultBlocking())
+	p := neutralProfile()
+	p.NumCPU += 3
+	p.NB = 40
+	s := NewSolver(&Options{Tuning: p})
+	defer s.Close()
+	if s.opts.NB != 0 {
+		t.Errorf("mismatched profile applied NB=%d", s.opts.NB)
+	}
+	if cb := blas.CurrentBlocking(); cb != blas.DefaultBlocking() {
+		t.Errorf("mismatched profile changed blocking: %+v", cb)
+	}
+}
