@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch bench-pipeline bench-tridiag bench-kernels tune
+.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch bench-pipeline bench-tridiag bench-stage1 bench-kernels tune
 
 all: check
 
@@ -47,6 +47,13 @@ bench-pipeline:
 bench-tridiag:
 	$(GO) run ./cmd/eigbench -exp tridiag -out BENCH_tridiag.json
 	$(GO) test -run '^$$' -bench 'BenchmarkStebz' ./internal/tridiag
+
+# The stage-1 look-ahead reduction vs the sequenced (flat-priority) scheme,
+# with the bitwise-identity check and the trace-attributed panel/update/stall
+# split; records the measured points (with machine context) in
+# BENCH_stage1.json.
+bench-stage1:
+	$(GO) run -tags blasasm ./cmd/eigbench -exp stage1 -out BENCH_stage1.json
 
 # The GEMM kernel rework: per-kernel Dgemm Gflop/s (seed baseline vs the
 # packed kernels, assembly included via the build tag) and end-to-end Eig

@@ -229,9 +229,10 @@ func (s *Solver) batchSolve(ctx context.Context, idx int, it *BatchItem, schedul
 // pipelinePhasePriority is the per-phase step of the pipeline's drain bias:
 // a task of phase k carries k·pipelinePhasePriority on top of its intrinsic
 // priority, so the late phases of in-flight items outrank the stage-1 tasks
-// of freshly admitted ones (whose intrinsic priorities are O(100)) and
-// items drain — releasing their workspace reservation — before new items
-// grab workers.
+// of freshly admitted ones and items drain — releasing their workspace
+// reservation — before new items grab workers. The step must dominate every
+// intrinsic priority; the largest is stage 1's look-ahead panel priority at
+// 2^13 (see internal/band), comfortably below this 2^16 step.
 const pipelinePhasePriority = 1 << 16
 
 // pipelineMemMask is the core-restriction mask the pipeline puts on

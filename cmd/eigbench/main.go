@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|batch|pipeline|tridiag|kernels|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|batch|pipeline|tridiag|stage1|kernels|all")
 		sizes   = flag.String("sizes", "", "comma-separated matrix sizes for sweeps (default 128,256,384,512)")
 		n       = flag.Int("n", 512, "matrix size for single-size experiments")
 		nb      = flag.Int("nb", 32, "tile size where applicable")
@@ -165,6 +165,31 @@ func main() {
 		path := *out
 		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
 			path = "BENCH_pipeline.json"
+		}
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eigbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d points)\n", path, len(points))
+	}
+	if *exp == "stage1" { // not part of "all": the look-ahead sweep stands alone
+		ssz := sz
+		if *sizes == "" {
+			ssz = []int{256, 512, 1024}
+		}
+		w := *workers
+		if w == 0 {
+			w = 4
+		}
+		table, points := bench.Stage1Compare(ssz, *nb, w, 0, 3)
+		show(table)
+		path := *out
+		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
+			path = "BENCH_stage1.json"
 		}
 		data, err := json.MarshalIndent(points, "", "  ")
 		if err == nil {

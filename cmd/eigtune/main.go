@@ -1,8 +1,9 @@
 // Command eigtune tunes this machine the way §7.1 of the paper tunes its
 // implementation, then persists the result: it measures the machine
 // parameters (α, β), sweeps the GEMM blocking and kernel family, the stage-1
-// tile size n_b (cross-checked against the Eqs. 9–10 analytic optimum), and
-// the back-transformation column block, and writes the winners to the
+// tile size n_b (cross-checked against the Eqs. 9–10 analytic optimum), the
+// stage-1 look-ahead depth, and the back-transformation column block, and
+// writes the winners to the
 // versioned JSON profile that eigen.Solver loads at construction
 // ($EIGEN_TUNE_PROFILE or ~/.cache/eigen/tune.json).
 //
@@ -52,18 +53,20 @@ func parseInts(flagName, s string) []int {
 
 func main() {
 	var (
-		n         = flag.Int("n", 512, "matrix size for the stage-1 nb sweep")
-		nbs       = flag.String("nbs", "8,16,24,32,48,64,96", "comma-separated tile sizes to sweep")
-		gemmN     = flag.Int("gemm-n", 384, "matrix order for the GEMM blocking sweep")
-		colblocks = flag.String("colblocks", "32,48,64,96,128", "comma-separated column-block widths to sweep")
-		reps      = flag.Int("reps", 2, "repetitions per measurement (best-of; raise on noisy hosts)")
-		workers   = flag.Int("workers", 0, "scheduler workers for the nb/colblock sweeps (0 = sequential)")
-		save      = flag.Bool("save", true, "persist the winning profile to disk")
-		out       = flag.String("o", "", "profile path (default $EIGEN_TUNE_PROFILE or the user cache dir)")
+		n          = flag.Int("n", 512, "matrix size for the stage-1 nb sweep")
+		nbs        = flag.String("nbs", "8,16,24,32,48,64,96", "comma-separated tile sizes to sweep")
+		gemmN      = flag.Int("gemm-n", 384, "matrix order for the GEMM blocking sweep")
+		colblocks  = flag.String("colblocks", "32,48,64,96,128", "comma-separated column-block widths to sweep")
+		lookaheads = flag.String("lookaheads", "1,2,4", "comma-separated stage-1 look-ahead depths to sweep")
+		reps       = flag.Int("reps", 2, "repetitions per measurement (best-of; raise on noisy hosts)")
+		workers    = flag.Int("workers", 0, "scheduler workers for the nb/colblock sweeps (0 = sequential)")
+		save       = flag.Bool("save", true, "persist the winning profile to disk")
+		out        = flag.String("o", "", "profile path (default $EIGEN_TUNE_PROFILE or the user cache dir)")
 	)
 	flag.Parse()
 	nbList := parseInts("nb", *nbs)
 	cbList := parseInts("colblock", *colblocks)
+	laList := parseInts("lookahead", *lookaheads)
 
 	// ---- Machine parameters (§7.1: α from gemm, β from symv) ----
 	fmt.Println("Measuring machine parameters...")
@@ -142,6 +145,29 @@ func main() {
 	}
 	fmt.Printf(")\n\n")
 
+	// ---- Stage-1 look-ahead depth sweep ----
+	// Every depth is bitwise identical (the knob only steers the ready
+	// queue), so only time discriminates. With one worker the depths are
+	// indistinguishable; the sweep still runs so the profile records an
+	// explicit winner for this machine.
+	laWorkers := *workers
+	if laWorkers < 2 {
+		laWorkers = 2
+	}
+	fmt.Printf("Sweeping stage-1 look-ahead depth at n=%d, nb=%d, workers=%d...\n", *n, bestNB, laWorkers)
+	laPts := bench.LookaheadSweep(*n, bestNB, laWorkers, laList, *reps)
+	bestLA, bestLASecs := 0, 0.0
+	for _, p := range laPts {
+		fmt.Printf("  lookahead=%-3d %.3fs\n", p.Depth, p.Secs)
+		if !(p.Secs > 0) {
+			die("lookahead=%d measured a non-positive time", p.Depth)
+		}
+		if bestLA == 0 || p.Secs < bestLASecs {
+			bestLA, bestLASecs = p.Depth, p.Secs
+		}
+	}
+	fmt.Printf("  empirical best look-ahead depth: %d\n\n", bestLA)
+
 	// ---- Back-transformation column-block sweep ----
 	fmt.Printf("Sweeping back-transformation column block at n=%d, nb=%d...\n", *n, bestNB)
 	cbPts := bench.ColBlockSweep(*n, bestNB, *workers, cbList, *reps)
@@ -163,6 +189,7 @@ func main() {
 	p.Gemm = tune.GemmConfig{MC: bestBlock.MC, KC: tune.RequiredKC, NC: bestBlock.NC, Kernel: bestBlock.Kernel.String()}
 	p.NB = bestNB
 	p.ColBlock = bestCB
+	p.Lookahead = bestLA
 	p.AlphaFlops = params.Alpha
 	p.BetaFlops = params.Beta
 	p.ModelNB = int(modelNB + 0.5)

@@ -82,6 +82,21 @@ type Options struct {
 	// Values above sched.MaxWorkers (64, the width of the scheduler's
 	// affinity masks) are clamped to 64; negative values run sequentially.
 	Workers int
+	// LookaheadDepth is the stage-1 look-ahead depth d ≥ 1: when the
+	// reduction runs on a scheduler, trailing-update tasks that feed one of
+	// the next d panels get priority boosts graded by proximity, so panel
+	// k+1's factorization overlaps panel k's trailing update. 0 picks a
+	// default — the machine's tune profile when one records a swept depth,
+	// else the built-in band.DefaultLookahead; absurd depths are clamped
+	// internally. The depth only steers the ready queue: results are bitwise
+	// identical at every depth and worker count.
+	LookaheadDepth int
+	// DisableLookahead is the kill-switch for stage-1 look-ahead: when set,
+	// the scheduled reduction uses the flat pre-look-ahead priority scheme
+	// exactly. The results are bitwise identical either way; the switch
+	// exists for benchmarking and as an escape hatch, mirroring
+	// DisableFusedBacktrans and DisableParallelTridiag.
+	DisableLookahead bool
 	// Stage2Workers restricts the memory-bound bulge-chasing stage to fewer
 	// cores for locality (the paper's hybrid scheduling); 0 = no limit.
 	Stage2Workers int
@@ -195,6 +210,9 @@ func (o *Options) normalize() {
 	if o.TridiagWorkers < 0 {
 		o.TridiagWorkers = 0
 	}
+	if o.LookaheadDepth < 0 {
+		o.LookaheadDepth = 0
+	}
 	if o.TridiagWorkers > sched.MaxWorkers {
 		o.TridiagWorkers = sched.MaxWorkers
 	}
@@ -228,6 +246,8 @@ func (o *Options) toCore(vectors bool, il, iu int) core.Options {
 		c.Stage2Static = o.Stage2Static
 		c.TridiagWorkers = o.TridiagWorkers
 		c.DisableParallelTridiag = o.DisableParallelTridiag
+		c.LookaheadDepth = o.LookaheadDepth
+		c.DisableLookahead = o.DisableLookahead
 		c.Group = o.Group
 		c.Collector = o.Collector
 		if o.DisableFusedBacktrans {

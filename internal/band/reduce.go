@@ -1,6 +1,9 @@
 package band
 
 import (
+	"sync/atomic"
+	"time"
+
 	"repro/internal/blas"
 	"repro/internal/matrix"
 	"repro/internal/sched"
@@ -8,10 +11,90 @@ import (
 	"repro/internal/work"
 )
 
-// DefaultNB is the default tile size / bandwidth for stage 1. The paper's
-// model (§7.1) puts the sweet spot at 120–200 on a 48-core Opteron; on this
-// substrate smaller tiles balance the two stages (see cmd/eigtune).
+// DefaultNB is the built-in fallback tile size / bandwidth for stage 1, used
+// only when neither Options.NB nor an installed tune profile supplies one.
+// The paper's model (§7.1) puts the sweet spot at 120–200 on a 48-core
+// Opteron; on this substrate smaller tiles balance the two stages. Since the
+// PR-6 autotuner, the effective default on a tuned machine is the profile's
+// measured nb (cmd/eigtune sweeps it and eigen.NewSolver fills unset Options
+// from the profile), so this constant is the zero-configuration fallback,
+// not the tuned operating point.
 const DefaultNB = 48
+
+// Look-ahead configuration of the scheduled stage-1 DAG.
+//
+// The reduction's critical path is the panel chain: GEQRT(k) → the TSQRT
+// chain of panel k → the column-(k+1) updates → GEQRT(k+1) → … Everything
+// else — the trailing updates on columns k+2..nt-1 — is slack that can fill
+// the workers while the chain advances. The scheduler's dependence tracking
+// already lets panel k+1 start as soon as its column's tiles are final, but
+// ready-queue order decides whether that actually happens: with flat
+// priorities the O(nt²) trailing-update tasks of panel k drown the handful
+// of tasks feeding panel k+1, and every panel boundary degenerates into a
+// near-global drain. Look-ahead is therefore a priority discipline
+// (Rodríguez-Sánchez et al., "Look-Ahead in the Two-Sided Reduction to
+// Compact Band Forms"): panel tasks outrank everything, and update tasks are
+// graded by how soon a future panel reads the tile they write, out to a
+// configurable depth d.
+const (
+	// DefaultLookahead is the depth used when Config.Lookahead is unset: the
+	// updates feeding the next two panels are prioritized, which keeps the
+	// panel chain fed without starving the trailing update entirely.
+	DefaultLookahead = 2
+	// MaxLookahead caps the depth so the graded boosts stay strictly below
+	// the panel-task priorities (and far below the batch pipeline's 2^16
+	// per-phase drain bias, which layers on top via Job.SetBias).
+	MaxLookahead = 63
+
+	// prioFeedStep is the per-column-distance step of the look-ahead boost:
+	// a task whose written tile feeds panel k+dist gets
+	// (d-dist+1)·prioFeedStep, so nearer panels win.
+	prioFeedStep = 64
+	// prioPanel is the priority of the panel-factorization tasks
+	// (GEQRT/TSQRT) — the critical path, above every boosted update.
+	prioPanel = 1 << 13
+	// prioDiag is the SYRFB priority: the diagonal update gates the
+	// column-(k+1) TSMQR-L chain, so it sits just under the panel tasks.
+	prioDiag = prioPanel - prioFeedStep
+)
+
+// Config bundles the stage-1 tuning knobs of ReduceWith.
+type Config struct {
+	// NB is the tile size / bandwidth (≤ 0 → DefaultNB).
+	NB int
+	// Lookahead is the look-ahead depth d ≥ 1: trailing-update tasks whose
+	// written tiles feed one of the next d panels get a priority boost graded
+	// by proximity. ≤ 0 picks DefaultLookahead; values above MaxLookahead are
+	// clamped. The depth only steers the ready queue — results are bitwise
+	// identical at every depth and worker count.
+	Lookahead int
+	// Sequenced is the look-ahead kill-switch: it restores the flat
+	// pre-look-ahead priority scheme (panel 100 / diagonal 50 / updates 0,
+	// fused mirror tasks) exactly. Results are bitwise identical either way;
+	// the switch exists for benchmarking and fault isolation.
+	Sequenced bool
+}
+
+// clampLookahead resolves a requested depth to the valid range [1, MaxLookahead].
+func clampLookahead(d int) int {
+	if d <= 0 {
+		return DefaultLookahead
+	}
+	if d > MaxLookahead {
+		return MaxLookahead
+	}
+	return d
+}
+
+// feedBoost is the look-ahead priority of an update task whose most urgent
+// written tile lies in panel column k+dist: within the depth window nearer
+// columns get larger boosts; beyond it the task is ordinary trailing update.
+func feedBoost(depth, dist int) int {
+	if dist < 1 || dist > depth {
+		return 0
+	}
+	return (depth - dist + 1) * prioFeedStep
+}
 
 // Factor is the output of the stage-1 reduction: the band matrix B plus the
 // Householder data needed to apply Q₁ later (paper §6, Figure 3a). The
@@ -80,12 +163,35 @@ func (f *Factor) resTts(k, i int) int {
 // reducer carries the stage-1 kernel state. Every kernel method re-derives
 // its geometry from the tile indices, so the sequential path can call them
 // directly — no closures, no captured variables, no per-task allocations —
-// while the scheduled path wraps the same methods in tasks.
+// while the scheduled paths wrap the same methods in tasks.
 type reducer struct {
+	// Busy-time accounting for the PhaseStage1Panel/Update attribution,
+	// accumulated by concurrent tasks (first for 64-bit alignment).
+	panelNs  int64
+	updateNs int64
+
 	f       *Factor
 	tm      *matrix.TileMatrix
 	tc      *trace.Collector
 	scratch [][]float64 // per-worker kernel workspace, nb²+2nb floats each
+}
+
+// t0 samples the clock for busy-time attribution; zero (free) when no
+// collector is attached.
+func (r *reducer) t0() time.Time {
+	if r.tc == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// acc credits the time since start to a busy counter (panelNs or updateNs).
+// Allocation-free, so the sequential path can call it per kernel.
+func (r *reducer) acc(dst *int64, start time.Time) {
+	if r.tc == nil {
+		return
+	}
+	atomic.AddInt64(dst, int64(time.Since(start)))
 }
 
 // panelGeom returns the dimensions of panel k: rows of the panel tile,
@@ -99,26 +205,32 @@ func (r *reducer) panelGeom(k int) (m1, kw, kr int) {
 
 // geqrt factors the top of panel k (tile (k+1, k)).
 func (r *reducer) geqrt(k, w int) {
+	t := r.t0()
 	m1, kw, kr := r.panelGeom(k)
 	Geqrt(m1, kw, r.tm.Tile(k+1, k), m1, r.f.Tge[k], kr, r.scratch[w][:kr+kw], r.tc)
+	r.acc(&r.panelNs, t)
 }
 
 // syrfb applies the GEQRT reflector two-sidedly to the diagonal tile.
 func (r *reducer) syrfb(k, w int) {
+	t := r.t0()
 	m1, _, kr := r.panelGeom(k)
 	panel := r.tm.Tile(k+1, k)
 	diag := r.tm.Tile(k+1, k+1)
 	wk := r.scratch[w][:kr*m1]
 	Ormqr(blas.Left, blas.Trans, m1, m1, kr, panel, m1, r.f.Tge[k], kr, diag, m1, wk, r.tc)
 	Ormqr(blas.Right, blas.NoTrans, m1, m1, kr, panel, m1, r.f.Tge[k], kr, diag, m1, wk, r.tc)
+	r.acc(&r.panelNs, t)
 }
 
 // ormqrL updates row tile (k+1, j) from the left: A[k+1][j] := Hᵀ·A[k+1][j].
 func (r *reducer) ormqrL(k, j, w int) {
+	t := r.t0()
 	m1, _, kr := r.panelGeom(k)
 	nc := r.tm.TileCols(j)
 	Ormqr(blas.Left, blas.Trans, m1, nc, kr, r.tm.Tile(k+1, k), m1, r.f.Tge[k], kr,
 		r.tm.Tile(k+1, j), m1, r.scratch[w][:kr*nc], r.tc)
+	r.acc(&r.updateNs, t)
 }
 
 // mirror exploits symmetry: the two-sided result satisfies A[j][k+1] =
@@ -126,22 +238,27 @@ func (r *reducer) ormqrL(k, j, w int) {
 // the column tile instead of recomputed (a copy, not flops — this is how the
 // tile algorithm keeps the 4/3·n³-class cost of a symmetry-aware reduction).
 func (r *reducer) mirror(k, j, _ int) {
+	t := r.t0()
 	m1 := r.tm.TileRows(k + 1)
 	mr := r.tm.TileRows(j)
 	transposeTile(r.tm.Tile(k+1, j), m1, mr, r.tm.Tile(j, k+1))
+	r.acc(&r.updateNs, t)
 }
 
 // tsqrt couples tile (i, k) into the panel's R factor.
 func (r *reducer) tsqrt(k, i, w int) {
+	t := r.t0()
 	m1, kw, _ := r.panelGeom(k)
 	m2 := r.tm.TileRows(i)
 	Tsqrt(kw, m2, r.tm.Tile(k+1, k), m1, r.tm.Tile(i, k), m2,
 		r.f.Tts[k][i-(k+2)], kw, r.scratch[w][:kw], r.tc)
+	r.acc(&r.panelNs, t)
 }
 
 // tsmqrL applies the TS reflector of (i, k) from the left to row pair
 // (k+1, i), column j.
 func (r *reducer) tsmqrL(k, i, j, w int) {
+	t := r.t0()
 	m1 := r.tm.TileRows(k + 1)
 	kw := r.tm.TileCols(k)
 	m2 := r.tm.TileRows(i)
@@ -149,47 +266,82 @@ func (r *reducer) tsmqrL(k, i, j, w int) {
 	Tsmqr(blas.Left, blas.Trans, kw, nc, 0, m2,
 		r.tm.Tile(k+1, j), m1, r.tm.Tile(i, j), m2,
 		r.tm.Tile(i, k), m2, r.f.Tts[k][i-(k+2)], kw, r.scratch[w][:kw*nc], r.tc)
+	r.acc(&r.updateNs, t)
 }
 
 // tsmqrC applies the TS reflector of (i, k) from the right to column pair
 // (k+1, i), row `row` — only rows {k+1, i} need real computation; the rest
 // are mirrored (see mirror2).
 func (r *reducer) tsmqrC(k, i, row, w int) {
+	t := r.t0()
 	kw := r.tm.TileCols(k)
 	m2 := r.tm.TileRows(i)
 	mr := r.tm.TileRows(row)
 	Tsmqr(blas.Right, blas.NoTrans, kw, 0, mr, m2,
 		r.tm.Tile(row, k+1), mr, r.tm.Tile(row, i), mr,
 		r.tm.Tile(i, k), m2, r.f.Tts[k][i-(k+2)], kw, r.scratch[w][:mr*kw], r.tc)
+	r.acc(&r.updateNs, t)
 }
 
 // mirror2 transposes the freshly left-updated row tiles of pair (k+1, i)
 // into the corresponding column tiles of row `row` (symmetry exploitation,
-// as in mirror).
-func (r *reducer) mirror2(k, i, row, _ int) {
+// as in mirror). The sequenced path runs it fused; the look-ahead path
+// splits it into mirror2a/mirror2b so the column-(k+1) half — which the next
+// panel's TSQRT chain reads — is an independent task that does not wait
+// behind, or share a ready-queue slot with, the column-i half.
+func (r *reducer) mirror2(k, i, row, w int) {
+	r.mirror2a(k, i, row, w)
+	r.mirror2b(k, i, row, w)
+}
+
+// mirror2a is the column-(k+1) half of mirror2: tile (row, k+1) ← (k+1, row)ᵀ.
+func (r *reducer) mirror2a(k, _, row, _ int) {
+	t := r.t0()
 	m1 := r.tm.TileRows(k + 1)
-	m2 := r.tm.TileRows(i)
 	mr := r.tm.TileRows(row)
 	transposeTile(r.tm.Tile(k+1, row), m1, mr, r.tm.Tile(row, k+1))
+	r.acc(&r.updateNs, t)
+}
+
+// mirror2b is the column-i half of mirror2: tile (row, i) ← (i, row)ᵀ.
+func (r *reducer) mirror2b(_, i, row, _ int) {
+	t := r.t0()
+	m2 := r.tm.TileRows(i)
+	mr := r.tm.TileRows(row)
 	transposeTile(r.tm.Tile(i, row), m2, mr, r.tm.Tile(row, i))
+	r.acc(&r.updateNs, t)
 }
 
 // Reduce runs the stage-1 reduction of the dense symmetric matrix a (both
-// triangles must be filled) to band form with bandwidth nb.
+// triangles must be filled) to band form with bandwidth nb, with the default
+// look-ahead depth. See ReduceWith for the knobs.
+func Reduce(a *matrix.Dense, nb int, job *sched.Job, ws *work.Arena, tc *trace.Collector) *Factor {
+	return ReduceWith(a, Config{NB: nb}, job, ws, tc)
+}
+
+// ReduceWith runs the stage-1 reduction of the dense symmetric matrix a
+// (both triangles must be filled) to band form under the given Config.
 //
 // job selects the execution mode: a nil job (or one created with
 // sched.Inline) runs the kernels sequentially in submission order — the
-// reference execution the scheduled one must match bit-for-bit — while a
-// scheduler-backed job runs the DAG on the worker pool. If the job is
-// canceled the reduction stops at a task boundary and the Factor's contents
-// are unspecified; the caller must check job.Err. ws may be nil (fresh
-// allocations); when non-nil the returned Factor is arena-backed and only
-// valid until the arena is recycled. tc may be nil.
-func Reduce(a *matrix.Dense, nb int, job *sched.Job, ws *work.Arena, tc *trace.Collector) *Factor {
+// reference execution the scheduled ones must match bit-for-bit — while a
+// scheduler-backed job runs the DAG on the worker pool, under the look-ahead
+// priority scheme unless cfg.Sequenced restores the flat one. All three
+// modes produce bitwise-identical factors: the task set and per-tile
+// operation order never change, only readiness and ready-queue order do. If
+// the job is canceled the reduction stops at a task boundary and the
+// Factor's contents are unspecified; the caller must check job.Err. ws may
+// be nil (fresh allocations); when non-nil the returned Factor is
+// arena-backed and only valid until the arena is recycled. tc may be nil;
+// when set, the stage's busy time is attributed to PhaseStage1Panel and
+// PhaseStage1Update and the scheduled run's idle worker-time to
+// PhaseStage1Stall.
+func ReduceWith(a *matrix.Dense, cfg Config, job *sched.Job, ws *work.Arena, tc *trace.Collector) *Factor {
 	n := a.Rows
 	if a.Cols != n {
 		panic("band: Reduce requires a square matrix")
 	}
+	nb := cfg.NB
 	if nb <= 0 {
 		nb = DefaultNB
 	}
@@ -241,11 +393,33 @@ func Reduce(a *matrix.Dense, nb int, job *sched.Job, ws *work.Arena, tc *trace.C
 		f: f, tm: tm, tc: tc,
 		scratch: ws.PerWorker(work.Stage1Scratch, job.Workers(), nb*nb+2*nb),
 	}
+	workers := job.Workers()
+	var start time.Time
+	if tc != nil {
+		start = time.Now()
+	}
 	if job.Parallel() {
-		r.schedule(job)
+		if cfg.Sequenced {
+			r.scheduleSequenced(job)
+		} else {
+			r.scheduleLookahead(job, clampLookahead(cfg.Lookahead))
+		}
 		job.Wait() // error, if any, surfaces through job.Err at the caller
 	} else {
 		r.runSeq(job)
+	}
+	if tc != nil {
+		wall := time.Since(start)
+		panel := time.Duration(atomic.LoadInt64(&r.panelNs))
+		update := time.Duration(atomic.LoadInt64(&r.updateNs))
+		tc.AddPhase(trace.PhaseStage1Panel, panel)
+		tc.AddPhase(trace.PhaseStage1Update, update)
+		// Idle worker-time: the stage held `workers` workers for `wall` but
+		// only panel+update of worker-time was busy. Clamped at zero — timer
+		// skew can make busy marginally exceed the product on tiny problems.
+		if stall := time.Duration(workers)*wall - panel - update; stall > 0 {
+			tc.AddPhase(trace.PhaseStage1Stall, stall)
+		}
 	}
 	f.Band = extractBand(tm, nb, ws)
 	return f
@@ -283,9 +457,11 @@ func (r *reducer) runSeq(job *sched.Job) {
 	}
 }
 
-// schedule submits the same kernel sequence as tasks with their access lists;
-// the scheduler infers the DAG from submission order.
-func (r *reducer) schedule(job *sched.Job) {
+// scheduleSequenced submits the same kernel sequence as tasks with their
+// access lists; the scheduler infers the DAG from submission order. This is
+// the pre-look-ahead scheme (flat priorities, fused MIRROR2 tasks), kept
+// verbatim as the Sequenced kill-switch path.
+func (r *reducer) scheduleSequenced(job *sched.Job) {
 	f, tm, nt := r.f, r.tm, r.f.NT
 	for k := 0; k < nt-1; k++ {
 		k := k
@@ -377,6 +553,130 @@ func (r *reducer) schedule(job *sched.Job) {
 						sched.W(tm.TileID(row, i)), sched.R(tm.TileID(i, row)),
 					},
 					Run: func(w int) { r.mirror2(k, i, row, w) },
+				})
+			}
+		}
+	}
+}
+
+// scheduleLookahead submits the identical kernel sequence — same tasks (bar
+// the MIRROR2 split), same per-tile submission order, so the DAG and the
+// results are unchanged — under the look-ahead priority scheme: panel tasks
+// (GEQRT/TSQRT) at prioPanel, the diagonal SYRFB just under them, and every
+// trailing-update task boosted by feedBoost according to the nearest future
+// panel column it writes, out to `depth` panels ahead. The one structural
+// change is MIRROR2 → MIRROR2A + MIRROR2B: the fused task coupled a
+// critical-path column-(k+1) write to a non-critical column-i write, which
+// would hold the next panel's TSQRT chain behind slack work; the halves touch
+// disjoint tiles, so splitting them preserves each tile's write order.
+//
+// Bitwise identity holds because priorities only reorder the ready queue:
+// which tasks may run concurrently is fixed by the dependences, and every
+// per-tile operation sequence is a dependence chain, so no floating-point
+// accumulation order can change. Priorities stay ≤ prioPanel = 2¹³, strictly
+// below the batch pipeline's 2¹⁶ per-phase drain bias (Job.SetBias), so phase
+// ordering across pipelined solves is also unaffected.
+func (r *reducer) scheduleLookahead(job *sched.Job, depth int) {
+	f, tm, nt := r.f, r.tm, r.f.NT
+	for k := 0; k < nt-1; k++ {
+		k := k
+		job.Submit(sched.Task{
+			Name:     taskName("GEQRT", k+1, k),
+			Priority: prioPanel,
+			Deps: []sched.Dep{
+				sched.RW(tm.TileID(k+1, k)), sched.W(f.resV(k)), sched.W(f.resR(k)), sched.W(f.resTge(k)),
+			},
+			Run: func(w int) { r.geqrt(k, w) },
+		})
+
+		// The diagonal update gates the column-(k+1) TSMQR-L chain — just
+		// under the panel tasks.
+		job.Submit(sched.Task{
+			Name:     taskName("SYRFB", k+1, k+1),
+			Priority: prioDiag,
+			Deps: []sched.Dep{
+				sched.RW(tm.TileID(k+1, k+1)), sched.R(f.resV(k)), sched.R(f.resTge(k)),
+			},
+			Run: func(w int) { r.syrfb(k, w) },
+		})
+		for j := k + 2; j < nt; j++ {
+			j := j
+			// ORMQR-L feeds MIRROR, whose output tile (j, k+1) the next
+			// panel's TSQRT chain reads: both are distance-1 feeders.
+			job.Submit(sched.Task{
+				Name:     taskName("ORMQR-L", k+1, j),
+				Priority: feedBoost(depth, 1),
+				Deps: []sched.Dep{
+					sched.RW(tm.TileID(k+1, j)), sched.R(f.resV(k)), sched.R(f.resTge(k)),
+				},
+				Run: func(w int) { r.ormqrL(k, j, w) },
+			})
+			job.Submit(sched.Task{
+				Name:     taskName("MIRROR", j, k+1),
+				Priority: feedBoost(depth, 1),
+				Deps: []sched.Dep{
+					sched.W(tm.TileID(j, k+1)), sched.R(tm.TileID(k+1, j)),
+				},
+				Run: func(w int) { r.mirror(k, j, w) },
+			})
+		}
+
+		for i := k + 2; i < nt; i++ {
+			i := i
+			job.Submit(sched.Task{
+				Name:     taskName("TSQRT", i, k),
+				Priority: prioPanel,
+				Deps: []sched.Dep{
+					sched.RW(f.resR(k)), sched.RW(tm.TileID(i, k)), sched.W(f.resTts(k, i)),
+				},
+				Run: func(w int) { r.tsqrt(k, i, w) },
+			})
+			for j := k + 1; j < nt; j++ {
+				j := j
+				// Writes column j, which panel j factors: distance j−k.
+				job.Submit(sched.Task{
+					Name:     taskName("TSMQR-L", i, j),
+					Priority: feedBoost(depth, j-k),
+					Deps: []sched.Dep{
+						sched.RW(tm.TileID(k+1, j)), sched.RW(tm.TileID(i, j)),
+						sched.R(tm.TileID(i, k)), sched.R(f.resTts(k, i)),
+					},
+					Run: func(w int) { r.tsmqrL(k, i, j, w) },
+				})
+			}
+			for _, row := range [2]int{k + 1, i} {
+				row := row
+				// Writes tile (row, k+1) — the next panel's column.
+				job.Submit(sched.Task{
+					Name:     taskName("TSMQR-C", row, i),
+					Priority: feedBoost(depth, 1),
+					Deps: []sched.Dep{
+						sched.RW(tm.TileID(row, k+1)), sched.RW(tm.TileID(row, i)),
+						sched.R(tm.TileID(i, k)), sched.R(f.resTts(k, i)),
+					},
+					Run: func(w int) { r.tsmqrC(k, i, row, w) },
+				})
+			}
+			for row := k + 1; row < nt; row++ {
+				if row == k+1 || row == i {
+					continue
+				}
+				row := row
+				job.Submit(sched.Task{
+					Name:     taskName("MIRROR2A", row, i),
+					Priority: feedBoost(depth, 1),
+					Deps: []sched.Dep{
+						sched.W(tm.TileID(row, k+1)), sched.R(tm.TileID(k+1, row)),
+					},
+					Run: func(w int) { r.mirror2a(k, i, row, w) },
+				})
+				job.Submit(sched.Task{
+					Name:     taskName("MIRROR2B", row, i),
+					Priority: feedBoost(depth, i-k),
+					Deps: []sched.Dep{
+						sched.W(tm.TileID(row, i)), sched.R(tm.TileID(i, row)),
+					},
+					Run: func(w int) { r.mirror2b(k, i, row, w) },
 				})
 			}
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -566,5 +567,68 @@ func TestParallelTridiagAttribution(t *testing.T) {
 	}
 	if tc.AttributedFlops(trace.PhaseEigTRecurse) <= 0 || tc.AttributedFlops(trace.PhaseEigTMerge) <= 0 {
 		t.Fatal("parallel DC solve did not attribute eig_t sub-phase flops")
+	}
+}
+
+// TestStage1LookaheadBitwise: the look-ahead stage-1 schedule, the Sequenced
+// kill-switch, and a sequential solve must produce bitwise-identical
+// eigensystems at every tested worker count and depth — the priorities only
+// reorder the scheduler's ready queue.
+func TestStage1LookaheadBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := testmat.RandomSym(rng, 90)
+	ref, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := func(label string, res *Result) {
+		t.Helper()
+		for i := range ref.Values {
+			if math.Float64bits(ref.Values[i]) != math.Float64bits(res.Values[i]) {
+				t.Fatalf("%s: value %d differs", label, i)
+			}
+		}
+		if !ref.Vectors.Equalish(res.Vectors, 0) {
+			t.Fatalf("%s: vectors differ", label)
+		}
+	}
+	for _, workers := range []int{2, 4, 7} {
+		for _, o := range []Options{
+			{Method: MethodDC, Vectors: true, NB: 8, Workers: workers, LookaheadDepth: 1},
+			{Method: MethodDC, Vectors: true, NB: 8, Workers: workers, LookaheadDepth: 4},
+			{Method: MethodDC, Vectors: true, NB: 8, Workers: workers, DisableLookahead: true},
+		} {
+			res, err := SyevTwoStage(context.Background(), a, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			same(fmt.Sprintf("workers=%d depth=%d seq=%v", workers, o.LookaheadDepth, o.DisableLookahead), res)
+		}
+	}
+}
+
+// TestStage1LookaheadAttribution: a scheduled two-stage solve records the
+// stage-1 sub-phase split (panel/update busy time plus idle worker-time)
+// under the wall-clock PhaseStage1.
+func TestStage1LookaheadAttribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := testmat.RandomSym(rng, 120)
+	tc := trace.New()
+	_, err := SyevTwoStage(context.Background(), a, Options{Method: MethodDC, Vectors: true, NB: 8, Workers: 3, Collector: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.PhaseTime(trace.PhaseStage1Panel) <= 0 || tc.PhaseTime(trace.PhaseStage1Update) <= 0 {
+		t.Fatal("scheduled solve did not attribute stage-1 panel/update time")
+	}
+	if tc.PhaseTime(trace.PhaseStage1Stall) < 0 {
+		t.Fatal("negative stage-1 stall")
+	}
+	if busy := tc.PhaseTime(trace.PhaseStage1Panel) + tc.PhaseTime(trace.PhaseStage1Update); busy < tc.PhaseTime(trace.PhaseStage1) {
+		// 3 workers were held for the whole phase, so total worker-time
+		// (busy + stall) must be at least the phase's wall time.
+		if busy+tc.PhaseTime(trace.PhaseStage1Stall) < tc.PhaseTime(trace.PhaseStage1) {
+			t.Fatal("stage-1 busy+stall below the phase wall time")
+		}
 	}
 }

@@ -52,6 +52,20 @@ const (
 	// the per-phase breakdown and look like a slow stage 1.
 	PhaseBatchWait = "batch_wait"
 
+	// Attribution-only sub-phases of the stage-1 reduction. The stage runs
+	// under one wall-clock phase (PhaseStage1); the reducer credits the busy
+	// time of its kernels here, split by task class, plus the idle
+	// worker-time of the scheduled run — which is how the look-ahead
+	// restructure proves the panel factorization left the critical path
+	// (look-ahead shrinks stall without changing panel/update work).
+	PhaseStage1Panel  = "stage1_panel"  // GEQRT/TSQRT/SYRFB (panel factorization chain)
+	PhaseStage1Update = "stage1_update" // trailing-update and mirror kernels
+	// PhaseStage1Stall is workers·wall − busy for the stage: the worker-time
+	// spent idle waiting for dependences (plus scheduler overhead). On an
+	// oversubscribed host it also absorbs time-sharing noise, so compare
+	// stall between runs of the same width, not across widths.
+	PhaseStage1Stall = "stage1_stall"
+
 	// Attribution-only sub-phases of the tridiagonal stage. eig_t runs
 	// under one wall-clock phase; the solvers credit coarse flop estimates
 	// of their kernels here via AttributeFlops (the same side-channel the

@@ -9,13 +9,17 @@ import (
 	"sync"
 )
 
-// ProfileVersion is the schema version written by this build. Loading rejects
-// any other version: the meaning of the fields (in particular which ones are
-// numerically neutral) is part of the schema, so a profile from a different
-// schema is worthless rather than approximately right.
-const ProfileVersion = 1
+// ProfileVersion is the schema version written by this build. Loading
+// migrates known older versions forward (see migrate) and rejects the rest:
+// the meaning of the fields (in particular which ones are numerically
+// neutral) is part of the schema, so a profile from an unknown schema is
+// worthless rather than approximately right.
+//
+// History: v1 was the original (gemm/nb/col_block); v2 added Lookahead, the
+// swept stage-1 look-ahead depth.
+const ProfileVersion = 2
 
-// RequiredKC is the one GEMM blocking parameter the v1 schema pins: C is
+// RequiredKC is the one GEMM blocking parameter the schema pins (since v1): C is
 // accumulated in KC-sized partial sums, so KC is the only blocking value that
 // changes the rounding of every Level-3 result. Profiles must either leave it
 // unset (0 → the default, which equals RequiredKC) or set it to exactly this
@@ -27,7 +31,7 @@ const RequiredKC = 128
 // on-disk profile location.
 const ProfileEnv = "EIGEN_TUNE_PROFILE"
 
-// kernelNames is the closed set of GEMM kernel spellings the v1 schema
+// kernelNames is the closed set of GEMM kernel spellings the schema
 // admits. It mirrors blas.KernelFromString (tune is a leaf package and cannot
 // import blas to ask).
 var kernelNames = map[string]bool{
@@ -73,6 +77,11 @@ type Profile struct {
 	// ColBlock is the tuned eigenvector column-block width (0 = keep the
 	// ColBlock heuristic). Applied only when Options.ColBlock is unset.
 	ColBlock int `json:"col_block,omitempty"`
+	// Lookahead is the tuned stage-1 look-ahead depth (0 = keep the built-in
+	// default, which is also what migrated v1 profiles report). Applied only
+	// when Options.LookaheadDepth is unset. Numerically neutral: the depth
+	// only steers task readiness, never an accumulation order.
+	Lookahead int `json:"lookahead,omitempty"`
 
 	// Measured machine parameters (flop/s) and the model's analytic optimum,
 	// recorded for the §7.1 cross-check; they are not consumed by the Solver.
@@ -116,7 +125,7 @@ func (p *Profile) Validate() error {
 	if !kernelNames[p.Gemm.Kernel] {
 		return fmt.Errorf("tune: unknown gemm kernel %q", p.Gemm.Kernel)
 	}
-	if p.Gemm.MC < 0 || p.Gemm.NC < 0 || p.NB < 0 || p.ColBlock < 0 {
+	if p.Gemm.MC < 0 || p.Gemm.NC < 0 || p.NB < 0 || p.ColBlock < 0 || p.Lookahead < 0 {
 		return fmt.Errorf("tune: negative tuning value in profile")
 	}
 	return nil
@@ -147,10 +156,22 @@ func Load(path string) (*Profile, error) {
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, fmt.Errorf("tune: parsing %s: %w", path, err)
 	}
+	p.migrate()
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("tune: rejecting %s: %w", path, err)
 	}
 	return &p, nil
+}
+
+// migrate upgrades a known older on-disk schema to ProfileVersion in place.
+// v1 → v2: the Lookahead field did not exist; its zero value means "keep the
+// built-in default", which is exactly how a v1-era build behaved, so the
+// upgrade is semantics-preserving. Unknown versions are left untouched for
+// Validate to reject.
+func (p *Profile) migrate() {
+	if p.Version == 1 {
+		p.Version = 2
+	}
 }
 
 // Save validates the profile and writes it atomically (temp file + rename in

@@ -98,6 +98,58 @@ func TestLoadRejectsMismatch(t *testing.T) {
 	}
 }
 
+// TestProfileMigrationV1 is the schema-migration gate named in
+// scripts/check.sh: a v1-era on-disk profile (no lookahead field) must load
+// in a v2 build, come back stamped with the current version and a zero
+// Lookahead (= keep the built-in default, exactly the v1 behaviour), and
+// survive a Save → Load round trip unchanged.
+func TestProfileMigrationV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.json")
+	v1 := validProfile()
+	v1.Version = 1
+	// Bypass Save's validation: this build would refuse to write v1, but it
+	// must still read profiles an older build wrote.
+	if err := os.WriteFile(path, mustJSON(t, v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load rejected a v1 profile: %v", err)
+	}
+	if got.Version != ProfileVersion {
+		t.Fatalf("migrated profile has version %d, want %d", got.Version, ProfileVersion)
+	}
+	if got.Lookahead != 0 {
+		t.Fatalf("migrated profile has Lookahead %d, want 0 (keep default)", got.Lookahead)
+	}
+	// Everything else must be carried over untouched.
+	want := *v1
+	want.Version = ProfileVersion
+	if *got != want {
+		t.Fatalf("migration changed fields beyond the version:\n got %+v\nwant %+v", *got, want)
+	}
+	// A migrated profile re-saved by this build round-trips as plain v2.
+	if err := got.Save(path); err != nil {
+		t.Fatalf("Save after migration: %v", err)
+	}
+	again, err := Load(path)
+	if err != nil {
+		t.Fatalf("reload after migration save: %v", err)
+	}
+	if *again != *got {
+		t.Fatalf("migration save/load round trip changed profile:\n got %+v\nwant %+v", *again, *got)
+	}
+	// Unknown future schemas are still rejected, not "migrated".
+	v9 := validProfile()
+	v9.Version = ProfileVersion + 7
+	if err := os.WriteFile(path, mustJSON(t, v9), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a profile from an unknown future schema")
+	}
+}
+
 func TestDefaultPathEnvOverride(t *testing.T) {
 	t.Setenv(ProfileEnv, "/some/where/tune.json")
 	got, err := DefaultPath()

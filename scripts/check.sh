@@ -35,6 +35,12 @@ go test -race -run 'TestSolveBatchPipeline|TestSolveBatchReentrant|TestPipeline|
 # mid-solve cancellation, and the driver-level worker sweeps.
 go test -race -run 'TestStedcSched|TestStebzSched|TestSteinSched|TestSchedAffinity|TestParallelTridiag' ./internal/tridiag ./internal/core
 
+# The stage-1 look-ahead reduction, exercised explicitly under -race: bitwise
+# identity of the look-ahead and sequenced schedules against the sequential
+# reference across worker counts and depths, depth clamping, mid-stage-1
+# cancellation, and the solver-level knob/kill-switch sweeps.
+go test -race -run 'TestReduceLookahead|TestLookahead|TestStage1' ./internal/band ./internal/core .
+
 # The GEMM kernel rework, under BOTH build-tag configurations: the portable
 # kernels (default build) and the assembly kernel (-tags blasasm, inert on
 # non-AVX2 hosts where it falls back to the portable 8x4). The suite pins the
@@ -45,7 +51,9 @@ go test ./internal/blas
 go test -tags blasasm ./internal/blas
 
 # The tune-profile round trip (save -> load at Solver construction ->
-# bitwise-identical solve), the Options override/kill-switch ladder, and the
-# schema/hardware validation that rejects stale or foreign profiles.
+# bitwise-identical solve), the Options override/kill-switch ladder, the
+# schema/hardware validation that rejects stale or foreign profiles, and the
+# v1 -> v2 schema migration (old profile loads, Lookahead defaults sanely).
 go test -run 'TestTuneProfileRoundTripSolve|TestTuning' .
 go test ./internal/tune
+go test -run 'TestProfileMigration' ./internal/tune

@@ -7,7 +7,8 @@ import (
 
 // TuneProfile is the persisted autotuning profile written by cmd/eigtune and
 // consumed by Options.Tuning: the machine identity it was measured on plus
-// the winning GEMM blocking, stage-1 tile size and column-block width.
+// the winning GEMM blocking, stage-1 tile size, column-block width and
+// stage-1 look-ahead depth.
 // Aliased from the internal tune package so external callers can construct,
 // load (LoadTuneProfile) and save (its Save method) profiles.
 type TuneProfile = tune.Profile
@@ -40,8 +41,8 @@ func DefaultTuneProfilePath() (string, error) { return tune.DefaultPath() }
 //     numerically neutral — the profile schema pins KC, the only blocking
 //     parameter that changes rounding — so installing it never perturbs any
 //     concurrent solver's results.
-//   - NB and ColBlock are per-solver and only fill fields the caller left
-//     unset, so explicit Options always win over the profile.
+//   - NB, ColBlock and LookaheadDepth are per-solver and only fill fields
+//     the caller left unset, so explicit Options always win over the profile.
 //
 // An invalid profile (schema or hardware mismatch) is ignored, not an error:
 // a stale tuning file must never break solver construction. DisableTuning
@@ -68,5 +69,8 @@ func applyTuning(o *Options) {
 	}
 	if o.ColBlock == 0 && p.ColBlock > 0 {
 		o.ColBlock = p.ColBlock
+	}
+	if o.LookaheadDepth == 0 && p.Lookahead > 0 {
+		o.LookaheadDepth = p.Lookahead
 	}
 }
