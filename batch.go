@@ -63,7 +63,11 @@ type BatchResult struct {
 // Admission control bounds the resource footprint: at most
 // Options.BatchConcurrency items (default: the scheduler width) are in
 // flight, and when Options.MemoryBudget is set, items wait until their
-// estimated workspace footprint fits under it. Small problems are submitted
+// estimated workspace footprint fits under it. The gate is per-Solver, not
+// per-call: concurrent SolveBatch calls (for example one per network job in
+// a serving layer) share the same slots and budget, so the Solver's
+// footprint is bounded no matter how many callers feed it. Small problems
+// are submitted
 // as one whole-solve task each on a per-item labeled job (so traces
 // attribute work per item); items with order ≥ Options.BatchFanout fan out
 // into the usual per-tile task DAG. On a sequential Solver (Workers ≤ 1)
@@ -110,34 +114,30 @@ func (s *Solver) SolveBatch(ctx context.Context, items []BatchItem) []BatchResul
 		return out
 	}
 
-	slots := 1
-	if scheduler != nil {
-		slots = scheduler.Workers()
-	}
-	if s.opts.BatchConcurrency > 0 {
-		slots = s.opts.BatchConcurrency
-	}
+	// Admission runs against the Solver's persistent gate (BatchConcurrency
+	// slots + MemoryBudget bytes, shared by every concurrent SolveBatch
+	// call). The pipeline window is per-call: it bounds how many of *this*
+	// call's items may hold a SolveState (and its workspace reservation) at
+	// once. It narrows the effective admission, never widens it.
+	gate := s.gate
 	pipelined := scheduler != nil && !s.opts.DisablePipeline && s.opts.Algorithm != OneStage
+	var window *batchGate
 	if pipelined {
-		// The pipeline window: how many items may hold a SolveState (and
-		// its workspace reservation) at once. It narrows the admission
-		// gate, never widens it.
 		depth := s.opts.PipelineDepth
 		if depth <= 0 || depth > scheduler.Workers() {
 			depth = scheduler.Workers()
 		}
-		if depth < slots {
-			slots = depth
-		}
+		window = newBatchGate(depth, 0)
 	}
-	if slots > len(items) {
-		slots = len(items)
-	}
-	gate := newBatchGate(slots, s.opts.MemoryBudget)
 	if ctx != nil {
 		// Wake gate waiters when the context dies so they can return its
 		// error instead of blocking on slots that canceled items still hold.
-		stop := context.AfterFunc(ctx, gate.broadcast)
+		stop := context.AfterFunc(ctx, func() {
+			gate.broadcast()
+			if window != nil {
+				window.broadcast()
+			}
+		})
 		defer stop()
 	}
 	fanout := s.opts.BatchFanout
@@ -150,7 +150,7 @@ func (s *Solver) SolveBatch(ctx context.Context, items []BatchItem) []BatchResul
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i] = s.batchSolve(ctx, i, &items[i], scheduler, gate, fanout, pipelined)
+			out[i] = s.batchSolve(ctx, i, &items[i], scheduler, gate, window, fanout, pipelined)
 		}(i)
 	}
 	wg.Wait()
@@ -158,7 +158,7 @@ func (s *Solver) SolveBatch(ctx context.Context, items []BatchItem) []BatchResul
 }
 
 // batchSolve validates, admits, and runs one batch item.
-func (s *Solver) batchSolve(ctx context.Context, idx int, it *BatchItem, scheduler *sched.Scheduler, gate *batchGate, fanout int, pipelined bool) BatchResult {
+func (s *Solver) batchSolve(ctx context.Context, idx int, it *BatchItem, scheduler *sched.Scheduler, gate, window *batchGate, fanout int, pipelined bool) BatchResult {
 	if err := validateBatchItem(it); err != nil {
 		return BatchResult{Err: err}
 	}
@@ -175,6 +175,15 @@ func (s *Solver) batchSolve(ctx context.Context, idx int, it *BatchItem, schedul
 
 	cost := core.EstimateWorkspaceBytes(n, s.opts.NB, vectors)
 	waitStart := time.Now()
+	if window != nil {
+		// The per-call pipeline window is taken before the shared gate so an
+		// item never pins a Solver-wide slot while waiting on its own call's
+		// window.
+		if err := window.acquire(ctx, 0); err != nil {
+			return BatchResult{Err: err}
+		}
+		defer window.release(0)
+	}
 	if err := gate.acquire(ctx, cost); err != nil {
 		return BatchResult{Err: err}
 	}
@@ -372,17 +381,21 @@ func validateBatchItem(it *BatchItem) error {
 	if it.A.r != it.A.c {
 		return fmt.Errorf("eigen: matrix must be square, got %d×%d", it.A.r, it.A.c)
 	}
+	// The range check is independent of how results are returned: it used to
+	// live inside the Dst branch, so a values-only or nil-Dst item with an
+	// invalid range passed validation, burned an admission slot, and only
+	// failed later inside the pipeline. Every item fails fast here instead.
+	n := it.A.r
+	k := n
+	if it.IL != 0 || it.IU != 0 {
+		if it.IL < 1 || it.IU > n || it.IL > it.IU {
+			return &RangeError{IL: it.IL, IU: it.IU, N: n}
+		}
+		k = it.IU - it.IL + 1
+	}
 	if it.Dst != nil {
 		if it.ValuesOnly {
 			return fmt.Errorf("eigen: batch item sets both Dst and ValuesOnly")
-		}
-		n := it.A.r
-		k := n
-		if it.IL != 0 || it.IU != 0 {
-			if it.IL < 1 || it.IU > n || it.IL > it.IU {
-				return &RangeError{IL: it.IL, IU: it.IU, N: n}
-			}
-			k = it.IU - it.IL + 1
 		}
 		if it.Dst.r != n || it.Dst.c != k {
 			return fmt.Errorf("eigen: batch destination is %d×%d, want %d×%d", it.Dst.r, it.Dst.c, n, k)
@@ -394,7 +407,10 @@ func validateBatchItem(it *BatchItem) error {
 // batchGate is the admission controller for SolveBatch: a counted slot pool
 // plus an optional byte budget. A solve needs one slot and (when a budget is
 // set) its estimated workspace bytes; costs above the budget are clamped to
-// it, so oversized problems run alone rather than deadlocking.
+// it, so oversized problems run alone rather than deadlocking. One instance
+// lives on each Solver (shared by every SolveBatch call, see NewSolver);
+// SolveBatch additionally builds slot-only instances as per-call pipeline
+// windows.
 type batchGate struct {
 	mu     sync.Mutex
 	cond   *sync.Cond

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/tridiag"
 )
@@ -468,6 +470,133 @@ func TestDegenerateShapes(t *testing.T) {
 		_, err = EigRange(a, 1, 7, opts)
 		if !errors.As(err, &re) || re.IL != 1 || re.IU != 7 || re.N != 3 {
 			t.Fatalf("alg=%v: RangeError fields %+v from %v", alg, re, err)
+		}
+	}
+}
+
+// TestBatchRangeValidatedWithoutDst is the regression test for the
+// validation hole where validateBatchItem only checked IL/IU when a caller
+// supplied a destination matrix: items without a Dst (including values-only
+// ones) sailed past validation and only failed deep in the pipeline. Every
+// bad range must fail fast with a typed *RangeError, Dst or no Dst.
+func TestBatchRangeValidatedWithoutDst(t *testing.T) {
+	s := NewSolver(&Options{Workers: 2})
+	defer s.Close()
+	a := diagMatrix([]float64{1, 2, 3})
+	items := []BatchItem{
+		{A: a, IL: 2, IU: 1},                   // inverted, no Dst
+		{A: a, IL: 1, IU: 9, ValuesOnly: true}, // beyond n, values-only
+		{A: a, IL: 0, IU: 2},                   // half-set range
+		{A: a, IL: 4, IU: 4},                   // both beyond n
+		{A: a},                                 // healthy control
+	}
+	results := s.SolveBatch(context.Background(), items)
+	for i := 0; i < 4; i++ {
+		var re *RangeError
+		if !errors.As(results[i].Err, &re) {
+			t.Fatalf("item %d (IL=%d IU=%d, no Dst): err=%v, want *RangeError",
+				i, items[i].IL, items[i].IU, results[i].Err)
+		}
+		if re.N != 3 {
+			t.Fatalf("item %d: RangeError.N=%d, want 3", i, re.N)
+		}
+		if !errors.Is(results[i].Err, ErrInvalidRange) {
+			t.Fatalf("item %d: error does not match ErrInvalidRange sentinel", i)
+		}
+	}
+	if results[4].Err != nil || len(results[4].Values) != 3 {
+		t.Fatalf("healthy item harmed by neighbours: %+v", results[4])
+	}
+}
+
+// TestBatchGateOverBudgetClamp pins the gate's clamp rule: a cost larger
+// than the whole budget is clamped to the budget, so the oversized acquire
+// succeeds but holds every byte (forcing it to run alone), and its release
+// restores exactly the clamped amount instead of overflowing the budget.
+func TestBatchGateOverBudgetClamp(t *testing.T) {
+	g := newBatchGate(2, 100)
+	ctx := context.Background()
+	if err := g.acquire(ctx, 1000); err != nil {
+		t.Fatalf("over-budget acquire must clamp and succeed: %v", err)
+	}
+	// The clamped acquire holds the full budget: a small follow-up blocks
+	// even though a slot is free.
+	acquired := make(chan error, 1)
+	go func() { acquired <- g.acquire(ctx, 10) }()
+	select {
+	case <-acquired:
+		t.Fatal("acquire got budget while a clamped oversized hold was live")
+	case <-time.After(50 * time.Millisecond):
+	}
+	g.release(1000) // release clamps symmetrically
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("release of a clamped hold did not free the budget")
+	}
+	g.release(10)
+	g.mu.Lock()
+	slots, avail := g.slots, g.avail
+	g.mu.Unlock()
+	if slots != 2 || avail != 100 {
+		t.Fatalf("after all releases: slots=%d avail=%d, want 2/100", slots, avail)
+	}
+}
+
+// TestSolveBatchOversizedItemsRunAlone is the end-to-end face of the clamp:
+// items whose workspace estimate exceeds the entire MemoryBudget still
+// complete (serialized, not deadlocked and not refused).
+func TestSolveBatchOversizedItemsRunAlone(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := NewSolver(&Options{Workers: 2, MemoryBudget: 1024})
+	defer s.Close()
+	if est := s.EstimateWorkspaceBytes(32, true); est <= 1024 {
+		t.Fatalf("test premise broken: n=32 estimate %d fits the 1KiB budget", est)
+	}
+	items := make([]BatchItem, 3)
+	for i := range items {
+		items[i].A = randSymMatrix(rng, 32)
+	}
+	for i, r := range s.SolveBatch(context.Background(), items) {
+		if r.Err != nil {
+			t.Fatalf("oversized item %d: %v", i, r.Err)
+		}
+		if len(r.Values) != 32 {
+			t.Fatalf("oversized item %d: %d values", i, len(r.Values))
+		}
+	}
+}
+
+// TestSolverGateSharedAcrossBatchCalls pins the persistent-gate contract
+// introduced for the service: concurrent SolveBatch calls on one Solver
+// draw from the same BatchConcurrency slots, and a single shared slot
+// serializes them without deadlock or lost results.
+func TestSolverGateSharedAcrossBatchCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewSolver(&Options{Workers: 2, BatchConcurrency: 1})
+	defer s.Close()
+	mats := make([]*Matrix, 4)
+	for i := range mats {
+		mats[i] = randSymMatrix(rng, 24)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(mats))
+	for _, a := range mats {
+		wg.Add(1)
+		go func(a *Matrix) {
+			defer wg.Done()
+			res := s.SolveBatch(context.Background(), []BatchItem{{A: a}})
+			errs <- res[0].Err
+		}(a)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent single-item batch: %v", err)
 		}
 	}
 }

@@ -1,0 +1,291 @@
+// Package client is the Go client for the eigensolver service (cmd/eigserve
+// / internal/service): submit a symmetric matrix, poll or long-poll the job,
+// fetch the result as eigen types. Matrix payloads travel as base64 IEEE
+// float64 bits, so a round trip through the service is bit-exact — the
+// values and vectors fetched back equal a direct Solver.Eig call on the same
+// machine bit for bit.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	eigen "repro"
+	"repro/internal/service"
+)
+
+// APIError is every non-2xx response: the HTTP status plus the service's
+// stable machine-readable code (see the Code* constants in internal/service)
+// and human-readable message.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("eigserve: %d %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// Job is the client view of a job record.
+type Job struct {
+	ID         string
+	Status     string
+	N          int
+	ValuesOnly bool
+	IL, IU     int
+	Created    time.Time
+	Started    time.Time
+	Finished   time.Time
+	// ErrCode/ErrMsg describe a failed or canceled job.
+	ErrCode string
+	ErrMsg  string
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j *Job) Terminal() bool {
+	return service.Status(j.Status).Terminal()
+}
+
+// Result is a fetched eigensolve result.
+type Result struct {
+	// Values are the eigenvalues in ascending order.
+	Values []float64
+	// Vectors holds the matching eigenvectors in its columns (nil for
+	// values-only jobs).
+	Vectors *eigen.Matrix
+}
+
+// SubmitOptions mirror the per-item solve options of eigen.BatchItem.
+type SubmitOptions struct {
+	// ValuesOnly skips the eigenvector computation.
+	ValuesOnly bool
+	// IL, IU select eigenpairs il..iu (1-based, ascending, inclusive); both
+	// zero means the full spectrum.
+	IL, IU int
+}
+
+// Client talks to one eigensolver server. The zero value is not usable; use
+// New. A Client is safe for concurrent use.
+type Client struct {
+	baseURL string
+	apiKey  string
+	hc      *http.Client
+	// waitQuantum is the per-request long-poll window Wait uses; the server
+	// clamps it to its own MaxWait. Shortened in tests.
+	waitQuantum time.Duration
+}
+
+// New builds a client for the server at baseURL (e.g. "http://10.0.0.5:8080")
+// authenticating with apiKey (empty for a server with auth disabled).
+func New(baseURL, apiKey string) *Client {
+	return &Client{
+		baseURL:     strings.TrimRight(baseURL, "/"),
+		apiKey:      apiKey,
+		hc:          &http.Client{},
+		waitQuantum: 10 * time.Second,
+	}
+}
+
+// SetHTTPClient replaces the underlying http.Client (custom transports,
+// TLS config). Do not set a global Timeout shorter than the long-poll
+// quantum — use request contexts for per-call deadlines instead.
+func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
+
+// Submit sends the symmetric matrix a for solving and returns the accepted
+// job (status queued). The matrix is transported bit-exactly.
+func (c *Client) Submit(ctx context.Context, a *eigen.Matrix, opts *SubmitOptions) (*Job, error) {
+	rows, cols := a.Dims()
+	if rows != cols {
+		return nil, fmt.Errorf("client: matrix must be square, got %d×%d", rows, cols)
+	}
+	data := make([]float64, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			data[i*cols+j] = a.At(i, j)
+		}
+	}
+	req := service.SubmitRequest{N: rows, DataB64: service.EncodeFloats(data)}
+	if opts != nil {
+		req.ValuesOnly = opts.ValuesOnly
+		req.IL, req.IU = opts.IL, opts.IU
+	}
+	var j service.Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", &req, &j); err != nil {
+		return nil, err
+	}
+	return fromWire(&j), nil
+}
+
+// Job fetches the current state of a job.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var j service.Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return fromWire(&j), nil
+}
+
+// Wait long-polls until the job reaches a terminal state or ctx is done.
+// A terminal job is returned, not an error — inspect Status/ErrCode, or just
+// call Result, which maps failures to typed errors.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	for {
+		var j service.Job
+		path := fmt.Sprintf("/v1/jobs/%s?wait=%s", id, c.waitQuantum)
+		if err := c.do(ctx, http.MethodGet, path, nil, &j); err != nil {
+			return nil, err
+		}
+		if service.Status(j.Status).Terminal() {
+			return fromWire(&j), nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Result fetches the result of a done job. A job that failed (or was
+// canceled) yields an *APIError carrying the service's stable code — e.g.
+// "not_finite" with status 400 for a NaN input, "canceled" for a canceled
+// job; a job still in flight yields code "pending" (409).
+func (c *Client) Result(ctx context.Context, id string) (*Result, error) {
+	var rr service.ResultResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &rr); err != nil {
+		return nil, err
+	}
+	res := &Result{Values: rr.Values}
+	if rr.VectorsB64 != "" {
+		flat, err := service.DecodeFloats(rr.VectorsB64)
+		if err != nil {
+			return nil, err
+		}
+		if len(flat) != rr.Rows*rr.Cols {
+			return nil, fmt.Errorf("client: vector payload has %d entries, want %d×%d", len(flat), rr.Rows, rr.Cols)
+		}
+		m := eigen.NewMatrixRect(rr.Rows, rr.Cols)
+		for col := 0; col < rr.Cols; col++ {
+			for row := 0; row < rr.Rows; row++ {
+				m.Set(row, col, flat[col*rr.Rows+row])
+			}
+		}
+		res.Vectors = m
+	}
+	return res, nil
+}
+
+// Cancel requests cancellation of a queued or running job. Cancellation is
+// asynchronous: the call returns the record as it stands; Wait observes the
+// transition to "canceled" once the solver has unwound.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var j service.Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &j); err != nil {
+		return nil, err
+	}
+	return fromWire(&j), nil
+}
+
+// Solve is the synchronous convenience wrapper: submit, wait, fetch. The
+// job is canceled server-side if ctx dies while waiting.
+func (c *Client) Solve(ctx context.Context, a *eigen.Matrix, opts *SubmitOptions) (*Result, error) {
+	j, err := c.Submit(ctx, a, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Wait(ctx, j.ID); err != nil {
+		if ctx.Err() != nil {
+			// Best-effort server-side cancel so the abandoned job does not
+			// hold an admission slot; a background context since ours died.
+			cctx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+			defer stop()
+			c.Cancel(cctx, j.ID) //nolint:errcheck // best-effort
+		}
+		return nil, err
+	}
+	return c.Result(ctx, j.ID)
+}
+
+// Health checks the server's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+func fromWire(j *service.Job) *Job {
+	return &Job{
+		ID:         j.ID,
+		Status:     string(j.Status),
+		N:          j.N,
+		ValuesOnly: j.ValuesOnly,
+		IL:         j.IL,
+		IU:         j.IU,
+		Created:    j.Created,
+		Started:    j.Started,
+		Finished:   j.Finished,
+		ErrCode:    j.ErrCode,
+		ErrMsg:     j.ErrMsg,
+	}
+}
+
+// do performs one JSON round trip. Non-2xx responses decode into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var eb service.ErrorBody
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&eb); derr == nil {
+			apiErr.Code = eb.Error.Code
+			apiErr.Message = eb.Error.Message
+		} else {
+			apiErr.Code = "unknown"
+			apiErr.Message = resp.Status
+		}
+		return apiErr
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// AsAPIError unwraps err into an *APIError when it is one.
+func AsAPIError(err error) (*APIError, bool) {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae, true
+	}
+	return nil, false
+}

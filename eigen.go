@@ -338,6 +338,18 @@ func NewMatrix(n int) *Matrix {
 	return &Matrix{r: n, c: n, data: make([]float64, n*n)}
 }
 
+// NewMatrixRect allocates a zero rows×cols matrix. Rectangular matrices are
+// not valid eigensolve inputs (those must be square and symmetric); the
+// constructor exists for eigenvector blocks — an n×k destination for a range
+// solve, or a client-side reconstruction of an n×k result received over the
+// wire (see the client package).
+func NewMatrixRect(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("eigen: negative size")
+	}
+	return &Matrix{r: rows, c: cols, data: make([]float64, rows*cols)}
+}
+
 // NewMatrixFrom builds an n×n matrix from row-major data (convenient for
 // literals in examples and tests).
 func NewMatrixFrom(n int, rowMajor []float64) *Matrix {

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	eigen "repro"
+)
+
+// Wire error codes. These are part of the HTTP contract: clients switch on
+// them, so they are stable strings, decoupled from Go error text. Each maps
+// to exactly one HTTP status via HTTPStatus.
+const (
+	// CodeBadRequest: unparseable body, wrong payload length, or other
+	// structural defects caught before the job exists.
+	CodeBadRequest = "bad_request"
+	// CodeUnauthorized: missing or wrong API key.
+	CodeUnauthorized = "unauthorized"
+	// CodeNotFound: no such job (never created, deleted, or TTL-evicted).
+	CodeNotFound = "not_found"
+	// CodePending: the result was requested before the job finished.
+	CodePending = "pending"
+	// CodeTooLarge: the request body exceeded the configured byte cap.
+	CodeTooLarge = "too_large"
+	// CodeOverBudget: the problem's workspace estimate exceeds the Solver's
+	// entire MemoryBudget, so it can never be admitted alongside other work.
+	CodeOverBudget = "over_budget"
+	// CodeNotFinite: the input matrix contains NaN/±Inf (eigen.ErrNotFinite).
+	CodeNotFinite = "not_finite"
+	// CodeInvalidRange: a bad IL/IU eigenpair range (eigen.ErrInvalidRange).
+	CodeInvalidRange = "invalid_range"
+	// CodeNoConvergence: the iterative tridiagonal solver exceeded its
+	// iteration budget (eigen.ErrNoConvergence) — a property of the input,
+	// not a server fault.
+	CodeNoConvergence = "no_convergence"
+	// CodeSolverClosed: the backing Solver was shut down (eigen.ErrClosed).
+	CodeSolverClosed = "solver_closed"
+	// CodeCanceled: the job's context was canceled (DELETE endpoint or
+	// server shutdown).
+	CodeCanceled = "canceled"
+	// CodeDeadlineExceeded: the job's context deadline expired mid-solve.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeInternal: everything else — the only code that maps to a 5xx for
+	// a solve failure.
+	CodeInternal = "internal"
+)
+
+// StatusClientClosedRequest is the nginx convention for "the client went
+// away before the response": the stable status of a canceled job's result.
+// There is no standard code for it; 499 is the de-facto one.
+const StatusClientClosedRequest = 499
+
+// ClassifyError maps a solve error to its stable wire code. This is the one
+// place solver errors meet the HTTP surface: a typed input defect
+// (*NotFiniteError, *RangeError) from a malformed network payload must come
+// back as a 4xx with a machine-readable code, never as an anonymous 500.
+func ClassifyError(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, eigen.ErrNotFinite):
+		return CodeNotFinite
+	case errors.Is(err, eigen.ErrInvalidRange):
+		return CodeInvalidRange
+	case errors.Is(err, eigen.ErrNoConvergence):
+		return CodeNoConvergence
+	case errors.Is(err, eigen.ErrClosed):
+		return CodeSolverClosed
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadlineExceeded
+	default:
+		return CodeInternal
+	}
+}
+
+// HTTPStatus maps a wire code to its HTTP status. Unknown codes (including
+// the empty string) are 500: an unmapped error is by definition internal.
+func HTTPStatus(code string) int {
+	switch code {
+	case CodeBadRequest, CodeNotFinite, CodeInvalidRange:
+		return http.StatusBadRequest
+	case CodeUnauthorized:
+		return http.StatusUnauthorized
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodePending:
+		return http.StatusConflict
+	case CodeTooLarge, CodeOverBudget:
+		return http.StatusRequestEntityTooLarge
+	case CodeNoConvergence:
+		return http.StatusUnprocessableEntity
+	case CodeSolverClosed:
+		return http.StatusServiceUnavailable
+	case CodeCanceled:
+		return StatusClientClosedRequest
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

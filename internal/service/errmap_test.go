@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	eigen "repro"
+)
+
+// TestErrorMapping pins the typed error→code→HTTP-status mapping: every
+// solver error class a network payload can provoke must land on a stable
+// non-500 status (a malformed request is the client's fault), and only
+// genuinely internal failures map to 500.
+func TestErrorMapping(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		code   string
+		status int
+	}{
+		{
+			name:   "typed NotFiniteError",
+			err:    &eigen.NotFiniteError{Row: 2, Col: 3, Value: 0},
+			code:   CodeNotFinite,
+			status: http.StatusBadRequest,
+		},
+		{
+			name:   "wrapped ErrNotFinite",
+			err:    fmt.Errorf("item 4: %w", eigen.ErrNotFinite),
+			code:   CodeNotFinite,
+			status: http.StatusBadRequest,
+		},
+		{
+			name:   "typed RangeError",
+			err:    &eigen.RangeError{IL: 0, IU: 9, N: 4},
+			code:   CodeInvalidRange,
+			status: http.StatusBadRequest,
+		},
+		{
+			name:   "ErrInvalidRange sentinel",
+			err:    eigen.ErrInvalidRange,
+			code:   CodeInvalidRange,
+			status: http.StatusBadRequest,
+		},
+		{
+			name:   "ErrNoConvergence",
+			err:    eigen.ErrNoConvergence,
+			code:   CodeNoConvergence,
+			status: http.StatusUnprocessableEntity,
+		},
+		{
+			name:   "ErrClosed",
+			err:    eigen.ErrClosed,
+			code:   CodeSolverClosed,
+			status: http.StatusServiceUnavailable,
+		},
+		{
+			name:   "context.Canceled",
+			err:    context.Canceled,
+			code:   CodeCanceled,
+			status: StatusClientClosedRequest,
+		},
+		{
+			name:   "wrapped context.Canceled",
+			err:    fmt.Errorf("solve: %w", context.Canceled),
+			code:   CodeCanceled,
+			status: StatusClientClosedRequest,
+		},
+		{
+			name:   "context.DeadlineExceeded",
+			err:    context.DeadlineExceeded,
+			code:   CodeDeadlineExceeded,
+			status: http.StatusGatewayTimeout,
+		},
+		{
+			name:   "unknown error is internal",
+			err:    errors.New("disk on fire"),
+			code:   CodeInternal,
+			status: http.StatusInternalServerError,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code := ClassifyError(tc.err)
+			if code != tc.code {
+				t.Fatalf("ClassifyError(%v) = %q, want %q", tc.err, code, tc.code)
+			}
+			if got := HTTPStatus(code); got != tc.status {
+				t.Fatalf("HTTPStatus(%q) = %d, want %d", code, got, tc.status)
+			}
+		})
+	}
+	if ClassifyError(nil) != "" {
+		t.Fatal("ClassifyError(nil) must be empty")
+	}
+}
+
+// TestHTTPStatusEdgeCodes pins the request-level codes that never pass
+// through ClassifyError, and the unknown-code fallback.
+func TestHTTPStatusEdgeCodes(t *testing.T) {
+	for code, want := range map[string]int{
+		CodeBadRequest:   http.StatusBadRequest,
+		CodeUnauthorized: http.StatusUnauthorized,
+		CodeNotFound:     http.StatusNotFound,
+		CodePending:      http.StatusConflict,
+		CodeTooLarge:     http.StatusRequestEntityTooLarge,
+		CodeOverBudget:   http.StatusRequestEntityTooLarge,
+		"":               http.StatusInternalServerError,
+		"future_code":    http.StatusInternalServerError,
+	} {
+		if got := HTTPStatus(code); got != want {
+			t.Errorf("HTTPStatus(%q) = %d, want %d", code, got, want)
+		}
+	}
+}

@@ -158,6 +158,24 @@ func TestDefaultPathEnvOverride(t *testing.T) {
 	}
 }
 
+// TestDefaultPathWithoutHomeDir pins the degraded path for HOME-less
+// containers: DefaultPath must return an error (not panic, not return a
+// bogus path) and Cached must swallow it and report no profile.
+func TestDefaultPathWithoutHomeDir(t *testing.T) {
+	t.Setenv("HOME", "")
+	t.Setenv("XDG_CACHE_HOME", "")
+	t.Setenv(ProfileEnv, "")
+	InvalidateCache()
+	t.Cleanup(InvalidateCache)
+
+	if path, err := DefaultPath(); err == nil {
+		t.Fatalf("DefaultPath without HOME = %q, want error", path)
+	}
+	if p := Cached(); p != nil {
+		t.Fatalf("Cached without HOME = %+v, want nil", p)
+	}
+}
+
 func TestCachedUsesEnvPathAndInvalidate(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tune.json")
 	t.Setenv(ProfileEnv, path)

@@ -57,3 +57,21 @@ go test -tags blasasm ./internal/blas
 go test -run 'TestTuneProfileRoundTripSolve|TestTuning' .
 go test ./internal/tune
 go test -run 'TestProfileMigration' ./internal/tune
+
+# The eigensolver service, exercised explicitly under -race: the HTTP handler
+# ladder (auth, validation 4xx, typed error->status mapping incl. the
+# NaN->400/not_finite contract), both job stores (TTL eviction, disk-journal
+# restart/torn-tail recovery), and the client integration suite against a real
+# loopback server — submit/poll/result bitwise-equal to a direct Solver.Eig,
+# mid-solve cancel freeing its admission slot, over-budget 413 refusal, and
+# concurrent clients sharing one solver gate. Plus the admission-gate clamp
+# and the no-Dst range-validation regressions at the batch layer.
+go build ./cmd/eigserve
+go test -race ./internal/service ./client
+go test -race -run 'TestBatchRangeValidatedWithoutDst|TestBatchGateOverBudgetClamp|TestSolveBatchOversizedItemsRunAlone|TestSolverGateSharedAcrossBatchCalls' .
+
+# Container robustness: Solver construction (tune-profile auto-load) must
+# degrade silently when $HOME / $XDG_CACHE_HOME are unset, as in minimal
+# containers.
+go test -run 'TestNewSolverWithoutHomeDir' .
+go test -run 'TestDefaultPathWithoutHomeDir' ./internal/tune

@@ -49,6 +49,13 @@ type Solver struct {
 	opts Options
 	pool *work.Pool
 
+	// gate is the Solver's admission controller: BatchConcurrency slots plus
+	// MemoryBudget byte reservations. It is persistent — every SolveBatch
+	// call on this Solver (including single-item calls made on behalf of
+	// network jobs by internal/service) draws from the same slots and budget,
+	// so concurrent callers cannot multiply the Solver's footprint.
+	gate *batchGate
+
 	mu     sync.Mutex
 	sched  *sched.Scheduler
 	closed bool
@@ -71,8 +78,33 @@ func NewSolver(opts *Options) *Solver {
 	if s.opts.Workers > 1 {
 		s.sched = sched.New(s.opts.Workers)
 	}
+	slots := 1
+	if s.opts.Workers > 1 {
+		slots = s.opts.Workers
+	}
+	if s.opts.BatchConcurrency > 0 {
+		slots = s.opts.BatchConcurrency
+	}
+	s.gate = newBatchGate(slots, s.opts.MemoryBudget)
 	return s
 }
+
+// EstimateWorkspaceBytes reports the workspace footprint the Solver would
+// reserve for one order-n solve (with or without eigenvectors) under its
+// configured tile size — the exact cost the admission gate charges against
+// Options.MemoryBudget. Serving layers use it to price requests up front:
+// a request whose estimate exceeds the budget would be clamped and run
+// alone (see batchGate), so a service that wants to refuse such requests
+// outright compares this estimate against MemoryBudget before admitting.
+func (s *Solver) EstimateWorkspaceBytes(n int, vectors bool) int64 {
+	return core.EstimateWorkspaceBytes(n, s.opts.NB, vectors)
+}
+
+// MemoryBudget reports the byte budget the Solver admits concurrent solves
+// against (0 = unlimited), after option normalization. Together with
+// EstimateWorkspaceBytes it lets a caller decide whether a problem fits
+// without duplicating the admission arithmetic.
+func (s *Solver) MemoryBudget() int64 { return s.opts.MemoryBudget }
 
 // Close shuts the Solver's worker pool down and marks it unusable. It is
 // idempotent and safe to call concurrently with (failing) solves.

@@ -130,3 +130,32 @@ func TestTuningInvalidProfileIgnored(t *testing.T) {
 		t.Errorf("mismatched profile changed blocking: %+v", cb)
 	}
 }
+
+// TestNewSolverWithoutHomeDir pins container robustness: with $HOME and
+// $XDG_CACHE_HOME both unset (minimal containers, systemd DynamicUser,
+// scratch images), os.UserCacheDir errors — and the tune-profile auto-load
+// must degrade silently instead of failing construction. NewSolver must
+// build an untuned solver that solves correctly. Run by name in
+// scripts/check.sh.
+func TestNewSolverWithoutHomeDir(t *testing.T) {
+	// t.Setenv to "" is how Go reaches the UserCacheDir error path: Unix
+	// treats an empty $HOME exactly like an unset one.
+	t.Setenv("HOME", "")
+	t.Setenv("XDG_CACHE_HOME", "")
+	t.Setenv(tune.ProfileEnv, "")
+	tune.InvalidateCache()
+	t.Cleanup(tune.InvalidateCache)
+
+	s := NewSolver(&Options{Workers: 2})
+	defer s.Close()
+	if s.opts.NB != 0 || s.opts.ColBlock != 0 {
+		t.Errorf("HOME-less solver picked up a profile: NB=%d ColBlock=%d", s.opts.NB, s.opts.ColBlock)
+	}
+	res, err := s.Eig(diagMatrix([]float64{3, 1, 2}))
+	if err != nil {
+		t.Fatalf("HOME-less solver cannot solve: %v", err)
+	}
+	if len(res.Values) != 3 || res.Values[0] != 1 || res.Values[2] != 3 {
+		t.Fatalf("HOME-less solve wrong: %v", res.Values)
+	}
+}
