@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch bench-pipeline bench-tridiag bench-stage1 bench-kernels tune
+.PHONY: all build vet test race check bench-reuse bench-backtrans bench-batch bench-pipeline bench-tridiag bench-stage1 bench-kernels bench-sbr tune
 
 all: check
 
@@ -60,6 +60,13 @@ bench-stage1:
 # wall time, with bitwise gates; records BENCH_kernels.json.
 bench-kernels:
 	$(GO) run -tags blasasm ./cmd/eigbench -exp kernels -out BENCH_kernels.json
+
+# The multi-sweep SBR stage 1 vs the direct single-sweep reduction:
+# end-to-end Eig wall-clock per plan (direct, 64->8, 128->32->8) with the
+# eigenvalue-drift gate; records the measured points (with machine context)
+# in BENCH_sbr.json.
+bench-sbr:
+	$(GO) run -tags blasasm ./cmd/eigbench -exp sbr -out BENCH_sbr.json
 
 # Tune this machine and persist the profile eigen.Solver loads at
 # construction ($EIGEN_TUNE_PROFILE or the user cache dir).

@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 
 	"repro/internal/bench"
 )
@@ -16,11 +14,7 @@ import (
 // kernel (recorded in the asm_active field either way).
 func kernelsExperiment(out string, reps int) (*bench.Table, error) {
 	table, report := bench.KernelsExperiment([]int{256, 512}, []int{256, 512, 1024}, reps)
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err == nil {
-		err = os.WriteFile(out, append(data, '\n'), 0o644)
-	}
-	if err != nil {
+	if err := writeJSON(out, report); err != nil {
 		return table, fmt.Errorf("writing %s: %w", out, err)
 	}
 	fmt.Printf("wrote %s (Dgemm 512 speedup vs seed: %.2fx)\n", out, report.SpeedupVsSeed(512))

@@ -21,9 +21,24 @@ import (
 	"repro/internal/bench"
 )
 
+// writeJSON persists one experiment's record as {"host": …, "points": …} so
+// every BENCH_*.json carries the machine identity (CPU model, core count,
+// GOMAXPROCS, profile schema) it was measured on — recorded rates are
+// meaningless without it.
+func writeJSON(path string, points any) error {
+	data, err := json.MarshalIndent(struct {
+		Host   bench.HostInfo `json:"host"`
+		Points any            `json:"points"`
+	}{bench.Host(), points}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|batch|pipeline|tridiag|stage1|kernels|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig1a|fig1b|fig2|fig3|fig4a|fig4b|fig4c|fig4d|fig5|model|svdcmp|fraction|verify|ablate-group|ablate-sched|ablate-colblock|backtrans|reuse|batch|pipeline|tridiag|stage1|kernels|sbr|all")
 		sizes   = flag.String("sizes", "", "comma-separated matrix sizes for sweeps (default 128,256,384,512)")
 		n       = flag.Int("n", 512, "matrix size for single-size experiments")
 		nb      = flag.Int("nb", 32, "tile size where applicable")
@@ -113,11 +128,7 @@ func main() {
 		}
 		table, points := bench.BacktransCompare(bsz, *nb, []int{1, 4}, 5)
 		show(table)
-		data, err := json.MarshalIndent(points, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*out, append(data, '\n'), 0o644)
-		}
-		if err != nil {
+		if err := writeJSON(*out, points); err != nil {
 			fmt.Fprintf(os.Stderr, "eigbench: writing %s: %v\n", *out, err)
 			os.Exit(1)
 		}
@@ -141,11 +152,7 @@ func main() {
 		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
 			path = "BENCH_batch.json"
 		}
-		data, err := json.MarshalIndent(points, "", "  ")
-		if err == nil {
-			err = os.WriteFile(path, append(data, '\n'), 0o644)
-		}
-		if err != nil {
+		if err := writeJSON(path, points); err != nil {
 			fmt.Fprintf(os.Stderr, "eigbench: writing %s: %v\n", path, err)
 			os.Exit(1)
 		}
@@ -166,11 +173,7 @@ func main() {
 		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
 			path = "BENCH_pipeline.json"
 		}
-		data, err := json.MarshalIndent(points, "", "  ")
-		if err == nil {
-			err = os.WriteFile(path, append(data, '\n'), 0o644)
-		}
-		if err != nil {
+		if err := writeJSON(path, points); err != nil {
 			fmt.Fprintf(os.Stderr, "eigbench: writing %s: %v\n", path, err)
 			os.Exit(1)
 		}
@@ -191,11 +194,7 @@ func main() {
 		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
 			path = "BENCH_stage1.json"
 		}
-		data, err := json.MarshalIndent(points, "", "  ")
-		if err == nil {
-			err = os.WriteFile(path, append(data, '\n'), 0o644)
-		}
-		if err != nil {
+		if err := writeJSON(path, points); err != nil {
 			fmt.Fprintf(os.Stderr, "eigbench: writing %s: %v\n", path, err)
 			os.Exit(1)
 		}
@@ -213,6 +212,32 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *exp == "sbr" { // not part of "all": the multi-sweep sweep stands alone
+		ssz := sz
+		if *sizes == "" {
+			ssz = []int{512, 1024, 2048}
+		}
+		w := *workers
+		if w == 0 {
+			w = 4
+		}
+		plans := []bench.SBRConfig{
+			{}, // direct — the speedup/drift reference, must stay first
+			{WideBand: 64, Sweeps: []int{8}},
+			{WideBand: 128, Sweeps: []int{32, 8}},
+		}
+		table, points := sbrCompare(ssz, plans, w, 2)
+		show(table)
+		path := *out
+		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
+			path = "BENCH_sbr.json"
+		}
+		if err := writeJSON(path, points); err != nil {
+			fmt.Fprintf(os.Stderr, "eigbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d points)\n", path, len(points))
+	}
 	if *exp == "tridiag" { // not part of "all": the eig_t sweep stands alone
 		tsz := sz
 		if *sizes == "" {
@@ -228,11 +253,7 @@ func main() {
 		if path == "BENCH_backtrans.json" { // flag default belongs to -exp backtrans
 			path = "BENCH_tridiag.json"
 		}
-		data, err := json.MarshalIndent(points, "", "  ")
-		if err == nil {
-			err = os.WriteFile(path, append(data, '\n'), 0o644)
-		}
-		if err != nil {
+		if err := writeJSON(path, points); err != nil {
 			fmt.Fprintf(os.Stderr, "eigbench: writing %s: %v\n", path, err)
 			os.Exit(1)
 		}

@@ -2,8 +2,9 @@
 // implementation, then persists the result: it measures the machine
 // parameters (α, β), sweeps the GEMM blocking and kernel family, the stage-1
 // tile size n_b (cross-checked against the Eqs. 9–10 analytic optimum), the
-// stage-1 look-ahead depth, and the back-transformation column block, and
-// writes the winners to the
+// stage-1 look-ahead depth, the back-transformation column block, and the
+// multi-sweep SBR plan (-sbr: direct vs wide-band→narrow-band sweep
+// sequences, timed end-to-end), and writes the winners to the
 // versioned JSON profile that eigen.Solver loads at construction
 // ($EIGEN_TUNE_PROFILE or ~/.cache/eigen/tune.json).
 //
@@ -51,6 +52,43 @@ func parseInts(flagName, s string) []int {
 	return list
 }
 
+// parseSBRConfigs parses the -sbr spec: comma-separated plans, each either
+// "direct" or "b1:b2[:b3...]" with strictly decreasing bandwidths ("64:8"
+// reduces to bandwidth 64 then narrows to 8 before the chase). The direct
+// plan is always swept first — it is the eigenvalue cross-check reference —
+// and is prepended when the spec omits it.
+func parseSBRConfigs(s string) []bench.SBRConfig {
+	var list []bench.SBRConfig
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "direct" {
+			list = append(list, bench.SBRConfig{})
+			continue
+		}
+		parts := strings.Split(tok, ":")
+		cfg := bench.SBRConfig{}
+		prev := 0
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v < 1 || (i > 0 && v >= prev) || len(parts) < 2 {
+				fmt.Fprintf(os.Stderr, "eigtune: bad -sbr plan %q (want \"direct\" or strictly decreasing \"b1:b2[:b3...]\")\n", tok)
+				os.Exit(2)
+			}
+			if i == 0 {
+				cfg.WideBand = v
+			} else {
+				cfg.Sweeps = append(cfg.Sweeps, v)
+			}
+			prev = v
+		}
+		list = append(list, cfg)
+	}
+	if len(list) == 0 || list[0].Label() != "direct" {
+		list = append([]bench.SBRConfig{{}}, list...)
+	}
+	return list
+}
+
 func main() {
 	var (
 		n          = flag.Int("n", 512, "matrix size for the stage-1 nb sweep")
@@ -58,6 +96,7 @@ func main() {
 		gemmN      = flag.Int("gemm-n", 384, "matrix order for the GEMM blocking sweep")
 		colblocks  = flag.String("colblocks", "32,48,64,96,128", "comma-separated column-block widths to sweep")
 		lookaheads = flag.String("lookaheads", "1,2,4", "comma-separated stage-1 look-ahead depths to sweep")
+		sbr        = flag.String("sbr", "direct,64:8,96:16,128:32:8", "comma-separated SBR plans to sweep (direct or b1:b2[:b3...])")
 		reps       = flag.Int("reps", 2, "repetitions per measurement (best-of; raise on noisy hosts)")
 		workers    = flag.Int("workers", 0, "scheduler workers for the nb/colblock sweeps (0 = sequential)")
 		save       = flag.Bool("save", true, "persist the winning profile to disk")
@@ -67,6 +106,7 @@ func main() {
 	nbList := parseInts("nb", *nbs)
 	cbList := parseInts("colblock", *colblocks)
 	laList := parseInts("lookahead", *lookaheads)
+	sbrList := parseSBRConfigs(*sbr)
 
 	// ---- Machine parameters (§7.1: α from gemm, β from symv) ----
 	fmt.Println("Measuring machine parameters...")
@@ -183,6 +223,33 @@ func main() {
 	}
 	fmt.Printf("  empirical best colBlock: %d\n\n", bestCB)
 
+	// ---- Multi-sweep SBR plan sweep ----
+	// Timed end-to-end (both stages, tridiagonal solve, back-transformation):
+	// a narrowing sweep trades Level-2 bulge-chase work for extra Q-factor
+	// applications, so only the whole solve can rank plans. The sweep itself
+	// cross-checks each plan's spectrum against the direct reduction and
+	// fails on drift, so a broken plan can never be persisted as a winner.
+	sbrWorkers := *workers
+	if sbrWorkers < 2 {
+		sbrWorkers = 2
+	}
+	fmt.Printf("Sweeping SBR plans at n=%d, workers=%d...\n", *n, sbrWorkers)
+	sbrPts, err := bench.SBRSweep(*n, sbrList, sbrWorkers, *reps)
+	if err != nil {
+		die("sbr sweep failed: %v", err)
+	}
+	bestSBR, bestSBRSecs := bench.SBRConfig{}, 0.0
+	for i, p := range sbrPts {
+		fmt.Printf("  %-14s %.3fs\n", p.Label, p.Secs)
+		if !(p.Secs > 0) {
+			die("sbr plan %s measured a non-positive time", p.Label)
+		}
+		if i == 0 || p.Secs < bestSBRSecs {
+			bestSBR, bestSBRSecs = p.Config, p.Secs
+		}
+	}
+	fmt.Printf("  empirical best SBR plan: %s\n\n", bestSBR.Label())
+
 	// ---- Persist ----
 	p := tune.NewProfile()
 	p.Created = time.Now().UTC().Format(time.RFC3339)
@@ -190,6 +257,8 @@ func main() {
 	p.NB = bestNB
 	p.ColBlock = bestCB
 	p.Lookahead = bestLA
+	p.WideBand = bestSBR.WideBand
+	p.BandSweeps = append([]int(nil), bestSBR.Sweeps...)
 	p.AlphaFlops = params.Alpha
 	p.BetaFlops = params.Beta
 	p.ModelNB = int(modelNB + 0.5)

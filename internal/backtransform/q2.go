@@ -82,16 +82,24 @@ type planCache struct {
 // NewPlan builds the diamond decomposition of Q₂ with the given group size
 // (≤ 0 picks a bandwidth-dependent default). ws may be nil.
 func NewPlan(res *bulge.Result, group int, ws *work.Arena) *Plan {
+	return NewPlanKeyed(res, group, ws, work.BacktransPlan, work.BacktransSlab)
+}
+
+// NewPlanKeyed is NewPlan with explicit arena keys for the retained plan
+// header and the V/T slab. The fixed-key NewPlan retains exactly one plan
+// per arena; multi-sweep SBR pipelines need one live plan per narrowing
+// sweep plus the chase's, so each takes its own key pair.
+func NewPlanKeyed(res *bulge.Result, group int, ws *work.Arena, planKey, slabKey work.Key) *Plan {
 	if group <= 0 {
 		group = defaultGroup(res.B)
 	}
 	if group < 1 {
 		group = 1
 	}
-	cache, _ := ws.Value(work.BacktransPlan).(*planCache)
+	cache, _ := ws.Value(planKey).(*planCache)
 	if cache == nil {
 		cache = &planCache{} // nil ws: fresh each call, SetValue is a no-op
-		ws.SetValue(work.BacktransPlan, cache)
+		ws.SetValue(planKey, cache)
 	}
 	p := &cache.plan
 	*p = Plan{n: res.N, b: res.B, group: group, refs: res.Refs, ws: ws}
@@ -170,7 +178,7 @@ func NewPlan(res *bulge.Result, group int, ws *work.Arena) *Plan {
 			slabCap += rows*k + k*k
 		}
 	}
-	slab := ws.SlabOf(work.BacktransSlab, slabCap)
+	slab := ws.SlabOf(slabKey, slabCap)
 	if cap(cache.blocks) < nBlocks {
 		cache.blocks = make([]diamond, 0, nBlocks)
 	}

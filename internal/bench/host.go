@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/tune"
+)
+
+// HostInfo identifies the machine an experiment record was measured on. It
+// is embedded in every BENCH_*.json so recorded numbers can never be
+// misattributed: absolute rates belong to the host, not the paper's 48-core
+// Opteron, and two records only compare when their hosts match.
+// ProfileSchema is the tune-profile schema version the build writes, so a
+// record can be correlated with the profile generation that tuned the run.
+type HostInfo struct {
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	Gomaxprocs    int    `json:"gomaxprocs"`
+	CPUModel      string `json:"cpu_model,omitempty"`
+	ProfileSchema int    `json:"profile_schema"`
+}
+
+// cpuModel reads the first "model name" line of /proc/cpuinfo. Empty on
+// non-Linux hosts or odd containers; the field is omitempty for that reason.
+var cpuModel = sync.OnceValue(func() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if ok && strings.TrimSpace(key) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+})
+
+// Host returns this machine's identity for experiment records. GOMAXPROCS is
+// sampled at call time — it is the one field that can differ between runs on
+// the same machine, and it bounds every parallel measurement.
+func Host() HostInfo {
+	return HostInfo{
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Gomaxprocs:    runtime.GOMAXPROCS(0),
+		CPUModel:      cpuModel(),
+		ProfileSchema: tune.ProfileVersion,
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SBRConfig is one multi-sweep stage-1 plan for the SBR sweeps: reduce to
+// bandwidth WideBand first, then narrow through the strictly decreasing
+// Sweeps bandwidths before the bulge chase. The zero value is the classic
+// direct single-sweep reduction.
+type SBRConfig struct {
+	WideBand int   `json:"wide_band"`
+	Sweeps   []int `json:"band_sweeps"`
+}
+
+// Label renders the plan as "direct" or "128->32->8".
+func (c SBRConfig) Label() string {
+	if c.WideBand == 0 || len(c.Sweeps) == 0 {
+		return "direct"
+	}
+	s := strconv.Itoa(c.WideBand)
+	for _, b := range c.Sweeps {
+		s += "->" + strconv.Itoa(b)
+	}
+	return s
+}
+
+// SBRPoint is one measured SBR plan of the eigtune sweep.
+type SBRPoint struct {
+	Config SBRConfig `json:"config"`
+	Label  string    `json:"label"`
+	Secs   float64   `json:"secs"`
+}
+
+// SBRSweep times the full two-stage eigensolve — vectors included, so every
+// plan pays its own back-transformation — under each SBR plan at one size,
+// best of reps after an untimed warm-up rep. Unlike the look-ahead sweep the
+// plans are *not* bitwise comparable (each factors through a different band
+// sequence), so the sweep cross-checks eigenvalues instead: any plan whose
+// spectrum drifts more than a residual-scale tolerance from the first plan's
+// (conventionally the direct reduction) is a correctness bug, and the sweep
+// fails rather than timing it.
+func SBRSweep(n int, configs []SBRConfig, workers, reps int) ([]SBRPoint, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	a := matFor(n)
+	var refVals []float64
+	tol := 1e-11 * float64(n)
+	pts := make([]SBRPoint, 0, len(configs))
+	for _, cfg := range configs {
+		o := core.Options{
+			Method:     core.MethodDC,
+			Vectors:    true,
+			Workers:    workers,
+			WideBand:   cfg.WideBand,
+			BandSweeps: append([]int(nil), cfg.Sweeps...),
+		}
+		best := math.Inf(1)
+		for r := 0; r <= reps; r++ {
+			start := time.Now()
+			res, err := core.SyevTwoStage(context.Background(), a, o)
+			if err != nil {
+				return nil, fmt.Errorf("sbr plan %s: %w", cfg.Label(), err)
+			}
+			if el := time.Since(start).Seconds(); r > 0 && el < best {
+				best = el
+			}
+			if r == 0 {
+				if refVals == nil {
+					refVals = append([]float64(nil), res.Values...)
+				} else {
+					scale := math.Max(1, math.Abs(refVals[len(refVals)-1]))
+					for i, v := range res.Values {
+						if math.Abs(v-refVals[i]) > tol*scale {
+							return nil, fmt.Errorf("sbr plan %s: eigenvalue %d drifted %g from the direct plan (tol %g)",
+								cfg.Label(), i, math.Abs(v-refVals[i]), tol*scale)
+						}
+					}
+				}
+			}
+		}
+		pts = append(pts, SBRPoint{Config: cfg, Label: cfg.Label(), Secs: best})
+	}
+	return pts, nil
+}

@@ -26,6 +26,38 @@ func RandomSym(rng *rand.Rand, n int) *matrix.Dense {
 	return a
 }
 
+// RandomSymBand returns an n×n symmetric band matrix of bandwidth kd with
+// N(0,1) entries inside the band — the pre-banded inputs the stage-2 bulge
+// chase and the SBR narrowing sweeps are property-tested on.
+func RandomSymBand(rng *rand.Rand, n, kd int) *matrix.SymBand {
+	b := matrix.NewSymBand(n, kd)
+	for j := 0; j < n; j++ {
+		for i := j; i <= min(n-1, j+kd); i++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return b
+}
+
+// DiagDominantSymBand returns an n×n symmetric band matrix of bandwidth kd
+// with N(0,1) off-diagonals and diagonal entries pushed past the row sum, so
+// the matrix is strictly diagonally dominant: positive definite, well
+// conditioned, with eigenvalues near the diagonal — a benign counterpart to
+// RandomSymBand for property tests that want a controlled spectrum.
+func DiagDominantSymBand(rng *rand.Rand, n, kd int) *matrix.SymBand {
+	b := RandomSymBand(rng, n, kd)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := max(0, i-kd); j <= min(n-1, i+kd); j++ {
+			if j != i {
+				sum += math.Abs(b.At(i, j))
+			}
+		}
+		b.Set(i, i, sum+1+rng.Float64())
+	}
+	return b
+}
+
 // WithSpectrum builds A = Q·diag(spec)·Qᵀ for a Haar-ish random orthogonal Q
 // (product of n random Householder reflectors), so the exact eigenvalues of
 // the result are known. Returns the matrix; the planted spectrum is the

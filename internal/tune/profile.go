@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"sync"
 )
 
@@ -16,8 +17,9 @@ import (
 // worthless rather than approximately right.
 //
 // History: v1 was the original (gemm/nb/col_block); v2 added Lookahead, the
-// swept stage-1 look-ahead depth.
-const ProfileVersion = 2
+// swept stage-1 look-ahead depth; v3 added the multi-sweep SBR plan
+// (WideBand + BandSweeps).
+const ProfileVersion = 3
 
 // RequiredKC is the one GEMM blocking parameter the schema pins (since v1): C is
 // accumulated in KC-sized partial sums, so KC is the only blocking value that
@@ -83,11 +85,37 @@ type Profile struct {
 	// only steers task readiness, never an accumulation order.
 	Lookahead int `json:"lookahead,omitempty"`
 
+	// WideBand and BandSweeps are the tuned multi-sweep stage-1 plan (since
+	// v3): reduce to bandwidth WideBand first, then narrow through the
+	// strictly decreasing BandSweeps bandwidths via successive band reduction
+	// before the bulge chase. Both unset (0 / empty) means the classic
+	// single-sweep reduction won tuning. Applied only when the caller left
+	// Options.WideBand and Options.BandSweeps unset and did not set
+	// DisableMultiSweep. Like NB, these select a different — equally valid —
+	// factorization rather than perturbing an existing one.
+	WideBand   int   `json:"wide_band,omitempty"`
+	BandSweeps []int `json:"band_sweeps,omitempty"`
+
 	// Measured machine parameters (flop/s) and the model's analytic optimum,
 	// recorded for the §7.1 cross-check; they are not consumed by the Solver.
 	AlphaFlops float64 `json:"alpha_flops,omitempty"`
 	BetaFlops  float64 `json:"beta_flops,omitempty"`
 	ModelNB    int     `json:"model_nb,omitempty"`
+}
+
+// Equal reports whether two profiles carry identical settings. Profiles
+// stopped being comparable with == when the schema grew a slice field
+// (BandSweeps, v3); this is the replacement, used by tests and by callers
+// deciding whether a re-tune changed anything.
+func (p *Profile) Equal(q *Profile) bool {
+	if p == nil || q == nil {
+		return p == q
+	}
+	return p.Version == q.Version && p.GOOS == q.GOOS && p.GOARCH == q.GOARCH &&
+		p.NumCPU == q.NumCPU && p.Created == q.Created && p.Gemm == q.Gemm &&
+		p.NB == q.NB && p.ColBlock == q.ColBlock && p.Lookahead == q.Lookahead &&
+		p.WideBand == q.WideBand && slices.Equal(p.BandSweeps, q.BandSweeps) &&
+		p.AlphaFlops == q.AlphaFlops && p.BetaFlops == q.BetaFlops && p.ModelNB == q.ModelNB
 }
 
 // NewProfile returns an empty profile stamped with this build's schema
@@ -125,8 +153,18 @@ func (p *Profile) Validate() error {
 	if !kernelNames[p.Gemm.Kernel] {
 		return fmt.Errorf("tune: unknown gemm kernel %q", p.Gemm.Kernel)
 	}
-	if p.Gemm.MC < 0 || p.Gemm.NC < 0 || p.NB < 0 || p.ColBlock < 0 || p.Lookahead < 0 {
+	if p.Gemm.MC < 0 || p.Gemm.NC < 0 || p.NB < 0 || p.ColBlock < 0 || p.Lookahead < 0 || p.WideBand < 0 {
 		return fmt.Errorf("tune: negative tuning value in profile")
+	}
+	prev := p.WideBand
+	for _, b := range p.BandSweeps {
+		if b < 1 {
+			return fmt.Errorf("tune: band_sweeps entry %d out of range (must be ≥ 1)", b)
+		}
+		if prev > 0 && b >= prev {
+			return fmt.Errorf("tune: band_sweeps must narrow strictly (got %d after %d)", b, prev)
+		}
+		prev = b
 	}
 	return nil
 }
@@ -156,7 +194,9 @@ func Load(path string) (*Profile, error) {
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, fmt.Errorf("tune: parsing %s: %w", path, err)
 	}
-	p.migrate()
+	if err := p.migrate(); err != nil {
+		return nil, fmt.Errorf("tune: rejecting %s: %w", path, err)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("tune: rejecting %s: %w", path, err)
 	}
@@ -164,14 +204,28 @@ func Load(path string) (*Profile, error) {
 }
 
 // migrate upgrades a known older on-disk schema to ProfileVersion in place.
-// v1 → v2: the Lookahead field did not exist; its zero value means "keep the
-// built-in default", which is exactly how a v1-era build behaved, so the
-// upgrade is semantics-preserving. Unknown versions are left untouched for
-// Validate to reject.
-func (p *Profile) migrate() {
+// Each hop is semantics-preserving because the fields the next schema added
+// did not exist in the older one, and their zero values mean "keep the
+// built-in default" — exactly how the older build behaved. That argument
+// collapses if an old-versioned file carries a newer field with a non-zero
+// value: the file was hand-edited or truncated by a version-unaware writer,
+// and silently migrating it would apply settings no schema ever defined for
+// it. Such files are rejected here, before migration. Unknown versions are
+// left untouched for Validate to reject.
+func (p *Profile) migrate() error {
+	if p.Version < 2 && p.Lookahead != 0 {
+		return fmt.Errorf("tune: profile schema v%d predates the lookahead field but sets lookahead=%d", p.Version, p.Lookahead)
+	}
+	if p.Version < 3 && (p.WideBand != 0 || len(p.BandSweeps) != 0) {
+		return fmt.Errorf("tune: profile schema v%d predates the SBR fields but sets wide_band/band_sweeps", p.Version)
+	}
 	if p.Version == 1 {
 		p.Version = 2
 	}
+	if p.Version == 2 {
+		p.Version = 3
+	}
+	return nil
 }
 
 // Save validates the profile and writes it atomically (temp file + rename in

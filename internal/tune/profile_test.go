@@ -29,7 +29,7 @@ func TestProfileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if *got != *want {
+	if !got.Equal(want) {
 		t.Errorf("round trip changed profile:\n got %+v\nwant %+v", *got, *want)
 	}
 	// No temp litter left behind by the atomic write.
@@ -55,6 +55,10 @@ func TestProfileValidateRejects(t *testing.T) {
 		{"kernel", func(p *Profile) { p.Gemm.Kernel = "16x16" }},
 		{"negative-nb", func(p *Profile) { p.NB = -1 }},
 		{"negative-mc", func(p *Profile) { p.Gemm.MC = -5 }},
+		{"negative-wideband", func(p *Profile) { p.WideBand = -8 }},
+		{"zero-sweep", func(p *Profile) { p.BandSweeps = []int{8, 0} }},
+		{"non-narrowing-sweeps", func(p *Profile) { p.WideBand = 64; p.BandSweeps = []int{32, 32} }},
+		{"sweep-wider-than-band", func(p *Profile) { p.WideBand = 32; p.BandSweeps = []int{64} }},
 	}
 	for _, tc := range cases {
 		p := validProfile()
@@ -99,45 +103,58 @@ func TestLoadRejectsMismatch(t *testing.T) {
 }
 
 // TestProfileMigrationV1 is the schema-migration gate named in
-// scripts/check.sh: a v1-era on-disk profile (no lookahead field) must load
-// in a v2 build, come back stamped with the current version and a zero
-// Lookahead (= keep the built-in default, exactly the v1 behaviour), and
-// survive a Save → Load round trip unchanged.
+// scripts/check.sh: v1- and v2-era on-disk profiles (no lookahead / no SBR
+// fields) must load in this build, come back stamped with the current version
+// and zero values for the fields their schema predates (= keep the built-in
+// defaults, exactly the old build's behaviour), and survive a Save → Load
+// round trip unchanged. Files that claim an old version but set a field from
+// a newer schema are corrupt, not old, and must be rejected — migrating them
+// would silently apply settings their schema never defined (the v1+lookahead
+// case used to slip through as a zero depth).
 func TestProfileMigrationV1(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "tune.json")
-	v1 := validProfile()
-	v1.Version = 1
-	// Bypass Save's validation: this build would refuse to write v1, but it
-	// must still read profiles an older build wrote.
-	if err := os.WriteFile(path, mustJSON(t, v1), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	got, err := Load(path)
-	if err != nil {
-		t.Fatalf("Load rejected a v1 profile: %v", err)
-	}
-	if got.Version != ProfileVersion {
-		t.Fatalf("migrated profile has version %d, want %d", got.Version, ProfileVersion)
-	}
-	if got.Lookahead != 0 {
-		t.Fatalf("migrated profile has Lookahead %d, want 0 (keep default)", got.Lookahead)
-	}
-	// Everything else must be carried over untouched.
-	want := *v1
-	want.Version = ProfileVersion
-	if *got != want {
-		t.Fatalf("migration changed fields beyond the version:\n got %+v\nwant %+v", *got, want)
-	}
-	// A migrated profile re-saved by this build round-trips as plain v2.
-	if err := got.Save(path); err != nil {
-		t.Fatalf("Save after migration: %v", err)
-	}
-	again, err := Load(path)
-	if err != nil {
-		t.Fatalf("reload after migration save: %v", err)
-	}
-	if *again != *got {
-		t.Fatalf("migration save/load round trip changed profile:\n got %+v\nwant %+v", *again, *got)
+	for _, oldV := range []int{1, 2} {
+		old := validProfile()
+		old.Version = oldV
+		if oldV >= 2 {
+			old.Lookahead = 3 // the v2 schema legitimately carries a depth
+		}
+		// Bypass Save's validation: this build would refuse to write old
+		// versions, but it must still read profiles an older build wrote.
+		if err := os.WriteFile(path, mustJSON(t, old), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load rejected a v%d profile: %v", oldV, err)
+		}
+		if got.Version != ProfileVersion {
+			t.Fatalf("migrated v%d profile has version %d, want %d", oldV, got.Version, ProfileVersion)
+		}
+		if oldV < 2 && got.Lookahead != 0 {
+			t.Fatalf("migrated v1 profile has Lookahead %d, want 0 (keep default)", got.Lookahead)
+		}
+		if got.WideBand != 0 || got.BandSweeps != nil {
+			t.Fatalf("migrated v%d profile has SBR plan %d/%v, want zero (keep default)", oldV, got.WideBand, got.BandSweeps)
+		}
+		// Everything else must be carried over untouched.
+		want := *old
+		want.Version = ProfileVersion
+		if !got.Equal(&want) {
+			t.Fatalf("migration changed fields beyond the version:\n got %+v\nwant %+v", *got, want)
+		}
+		// A migrated profile re-saved by this build round-trips as the
+		// current schema.
+		if err := got.Save(path); err != nil {
+			t.Fatalf("Save after migration: %v", err)
+		}
+		again, err := Load(path)
+		if err != nil {
+			t.Fatalf("reload after migration save: %v", err)
+		}
+		if !again.Equal(got) {
+			t.Fatalf("migration save/load round trip changed profile:\n got %+v\nwant %+v", *again, *got)
+		}
 	}
 	// Unknown future schemas are still rejected, not "migrated".
 	v9 := validProfile()
@@ -147,6 +164,34 @@ func TestProfileMigrationV1(t *testing.T) {
 	}
 	if _, err := Load(path); err == nil {
 		t.Fatal("Load accepted a profile from an unknown future schema")
+	}
+}
+
+// TestProfileMigrationRejectsNewerFields is the regression test for the
+// silent-migration hole: an on-disk profile whose version predates a field it
+// nevertheless sets must be rejected by Load, not migrated. Before the fix a
+// v1 file carrying "lookahead" loaded fine and the depth was quietly
+// interpreted under v2 semantics it was never written against.
+func TestProfileMigrationRejectsNewerFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.json")
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"v1-with-lookahead", func(p *Profile) { p.Version = 1; p.Lookahead = 2 }},
+		{"v1-with-wideband", func(p *Profile) { p.Version = 1; p.WideBand = 64 }},
+		{"v2-with-wideband", func(p *Profile) { p.Version = 2; p.WideBand = 64 }},
+		{"v2-with-sweeps", func(p *Profile) { p.Version = 2; p.BandSweeps = []int{8} }},
+	}
+	for _, tc := range cases {
+		p := validProfile()
+		tc.mut(p)
+		if err := os.WriteFile(path, mustJSON(t, p), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := Load(path); err == nil {
+			t.Errorf("%s: Load migrated a version-inconsistent profile: %+v", tc.name, got)
+		}
 	}
 }
 
@@ -195,7 +240,7 @@ func TestCachedUsesEnvPathAndInvalidate(t *testing.T) {
 	}
 	InvalidateCache()
 	got := Cached()
-	if got == nil || *got != *want {
+	if !got.Equal(want) {
 		t.Errorf("Cached after save = %+v, want %+v", got, want)
 	}
 }

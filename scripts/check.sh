@@ -50,10 +50,22 @@ go test -race -run 'TestReduceLookahead|TestLookahead|TestStage1' ./internal/ban
 go test ./internal/blas
 go test -tags blasasm ./internal/blas
 
+# The multi-sweep SBR stage 1, exercised explicitly under -race: bitwise
+# determinism of every sweep plan across worker counts {1,2,4,7}, the
+# DisableMultiSweep kill-switch restoring the exact single-sweep
+# factorization bitwise, per-sweep phase suspend/resume, the correctness
+# budgets through both back-transformation paths, the sbr package's
+# scheduled-vs-sequential identity, and the pipelined batch with per-sweep
+# phases interleaved.
+go test -race -run 'TestSBR|TestMultiSweep|TestChaseBanded' ./internal/sbr ./internal/core ./internal/bulge .
+
 # The tune-profile round trip (save -> load at Solver construction ->
 # bitwise-identical solve), the Options override/kill-switch ladder, the
 # schema/hardware validation that rejects stale or foreign profiles, and the
-# v1 -> v2 schema migration (old profile loads, Lookahead defaults sanely).
+# v1/v2 -> v3 schema migration: old profiles load with the newer fields
+# defaulting sanely, and version-inconsistent files (an old version claiming
+# a newer schema's field, e.g. v1 with lookahead set) are rejected instead of
+# silently migrated.
 go test -run 'TestTuneProfileRoundTripSolve|TestTuning' .
 go test ./internal/tune
 go test -run 'TestProfileMigration' ./internal/tune

@@ -73,4 +73,13 @@ func applyTuning(o *Options) {
 	if o.LookaheadDepth == 0 && p.Lookahead > 0 {
 		o.LookaheadDepth = p.Lookahead
 	}
+	// The SBR plan is one knob, not two: a profile's WideBand is only
+	// meaningful together with its sweep list, so both are applied together
+	// and only when the caller expressed no multi-sweep preference at all —
+	// setting either field, or the kill-switch, pins the whole plan.
+	if o.WideBand == 0 && len(o.BandSweeps) == 0 && !o.DisableMultiSweep &&
+		p.WideBand > 0 && len(p.BandSweeps) > 0 {
+		o.WideBand = p.WideBand
+		o.BandSweeps = append([]int(nil), p.BandSweeps...)
+	}
 }

@@ -52,7 +52,7 @@ func TestTuneProfileRoundTripSolve(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Load after Save: %v", err)
 	}
-	if *got != *neutralProfile() {
+	if !got.Equal(neutralProfile()) {
 		t.Fatalf("profile did not survive the disk round trip: %+v", *got)
 	}
 
@@ -100,6 +100,27 @@ func TestTuningOptionsPrecedence(t *testing.T) {
 	defer s2.Close()
 	if s2.opts.NB != 32 || s2.opts.ColBlock != 64 {
 		t.Errorf("explicit options lost to profile: NB=%d ColBlock=%d", s2.opts.NB, s2.opts.ColBlock)
+	}
+
+	// The profile's SBR plan fills in only when the caller expressed no
+	// multi-sweep preference: explicit fields or the kill-switch pin it.
+	psbr := neutralProfile()
+	psbr.WideBand = 64
+	psbr.BandSweeps = []int{8}
+	s4 := NewSolver(&Options{Tuning: psbr})
+	defer s4.Close()
+	if s4.opts.WideBand != 64 || len(s4.opts.BandSweeps) != 1 || s4.opts.BandSweeps[0] != 8 {
+		t.Errorf("profile SBR plan not applied: WideBand=%d BandSweeps=%v", s4.opts.WideBand, s4.opts.BandSweeps)
+	}
+	s5 := NewSolver(&Options{Tuning: psbr, BandSweeps: []int{16}})
+	defer s5.Close()
+	if s5.opts.WideBand != 0 || len(s5.opts.BandSweeps) != 1 || s5.opts.BandSweeps[0] != 16 {
+		t.Errorf("explicit SBR options lost to profile: WideBand=%d BandSweeps=%v", s5.opts.WideBand, s5.opts.BandSweeps)
+	}
+	s6 := NewSolver(&Options{Tuning: psbr, DisableMultiSweep: true})
+	defer s6.Close()
+	if s6.opts.WideBand != 0 || s6.opts.BandSweeps != nil {
+		t.Errorf("DisableMultiSweep still applied profile SBR plan: WideBand=%d BandSweeps=%v", s6.opts.WideBand, s6.opts.BandSweeps)
 	}
 
 	blas.SetBlocking(blas.DefaultBlocking())
